@@ -1,0 +1,221 @@
+// Command yukta-bench regenerates the tables and figures of the paper's
+// evaluation (Section VI) and prints them as text tables and ASCII charts.
+//
+// Usage:
+//
+//	yukta-bench -list
+//	yukta-bench -fig 9            # Figure 9 (a) and (b), full suite
+//	yukta-bench -fig 9 -quick     # representative 4-app subset
+//	yukta-bench -table 2          # Table II
+//	yukta-bench -all              # everything (long)
+//	yukta-bench -csv out/         # also dump time-series CSVs for trace figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"yukta/internal/exp"
+)
+
+var quickApps = []string{"gamess", "mcf", "blackscholes", "streamcluster"}
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate: 9, 10, 11, 12, 13, 14, 15a, 15b, 16a, 16b, 17, cost")
+		table  = flag.Int("table", 0, "table to print: 1, 2, 3 or 4")
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		quick  = flag.Bool("quick", false, "use a representative 4-app subset for suite figures")
+		list   = flag.Bool("list", false, "list available artifacts")
+		csvDir = flag.String("csv", "", "directory to dump time-series CSVs for trace figures")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("figures: 9 10 11 12 13 14 15a 15b 16a 16b 17 conv abl cost")
+		fmt.Println("tables:  1 2 3 4")
+		return
+	}
+	if *table != 0 {
+		switch *table {
+		case 1:
+			fmt.Print(exp.TableI())
+		case 2:
+			fmt.Print(exp.TableII())
+		case 3:
+			fmt.Print(exp.TableIII())
+		case 4:
+			fmt.Print(exp.TableIV())
+		default:
+			fatal(fmt.Errorf("unknown table %d", *table))
+		}
+		return
+	}
+	if *fig == "" && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	apps := exp.EvalApps()
+	if *quick {
+		apps = quickApps
+	}
+
+	fmt.Fprintln(os.Stderr, "building platform (identification + model fitting + controller synthesis)...")
+	ctx, err := exp.NewContext()
+	if err != nil {
+		fatal(err)
+	}
+
+	want := func(name string) bool { return *all || *fig == name }
+
+	if want("9") {
+		exd, times, err := ctx.Fig9(apps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exd.Render())
+		fmt.Println(times.Render())
+	}
+	if want("10") {
+		tr, err := ctx.Fig10()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tr.Render())
+		dumpCSV(*csvDir, "fig10", tr)
+	}
+	if want("11") {
+		tr, err := ctx.Fig11()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tr.Render())
+		dumpCSV(*csvDir, "fig11", tr)
+	}
+	if want("12") || want("13") {
+		exd, times, err := ctx.Fig12and13(apps)
+		if err != nil {
+			fatal(err)
+		}
+		if want("12") || *all {
+			fmt.Println(exd.Render())
+		}
+		if want("13") || *all {
+			fmt.Println(times.Render())
+		}
+	}
+	if want("14") {
+		exd, err := ctx.Fig14()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exd.Render())
+	}
+	if want("15a") {
+		tr, err := ctx.Fig15a()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tr.Render())
+		dumpCSV(*csvDir, "fig15a", tr)
+	}
+	if want("15b") {
+		exd, err := ctx.Fig15b(apps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exd.Render())
+	}
+	if want("16a") {
+		points, err := ctx.Fig16a()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderGuardbandPoints(points))
+	}
+	if want("16b") {
+		exd, err := ctx.Fig16b(apps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exd.Render())
+	}
+	if want("17") {
+		tr, err := ctx.Fig17()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tr.Render())
+		dumpCSV(*csvDir, "fig17", tr)
+	}
+	if want("abl") {
+		a, err := ctx.AblationReport(apps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderAblation(a))
+	}
+	if want("conv") {
+		cv, err := ctx.ConvergenceReport()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderConvergence(cv))
+	}
+	if want("cost") {
+		h, err := ctx.HWCostReport()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.RenderHWCost(h))
+	}
+	if *all {
+		fmt.Print(exp.TableI())
+		fmt.Print(exp.TableII())
+		fmt.Print(exp.TableIII())
+		fmt.Print(exp.TableIV())
+	}
+}
+
+// dumpCSV writes each trace of a TraceSet into dir as <prefix>-<name>.csv.
+func dumpCSV(dir, prefix string, tr *exp.TraceSet) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for name, s := range tr.Series {
+		clean := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+				return r
+			default:
+				return '-'
+			}
+		}, name)
+		path := filepath.Join(dir, prefix+"-"+clean+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		werr := s.WriteCSV(f)
+		cerr := f.Close()
+		if werr != nil {
+			fatal(werr)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "yukta-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command yukta-sim runs one workload under one controller scheme on the
+// simulated ODROID XU3 board and prints the measured outcome plus ASCII
+// traces of power and performance.
+//
+// Usage:
+//
+//	yukta-sim -app blackscholes -scheme yukta-full
+//	yukta-sim -app mcf -scheme coordinated -trace
+//	yukta-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"yukta"
+)
+
+func schemes(p *yukta.Platform) map[string]yukta.Scheme {
+	return map[string]yukta.Scheme{
+		"coordinated":   p.CoordinatedHeuristic(),
+		"decoupled":     p.DecoupledHeuristic(),
+		"yukta-hw":      p.YuktaHWSSVOSHeuristic(yukta.DefaultHWParams()),
+		"yukta-full":    p.YuktaFullSSV(yukta.DefaultHWParams(), yukta.DefaultOSParams()),
+		"lqg-mono":      p.MonolithicLQG(),
+		"lqg-decoupled": p.DecoupledLQG(),
+	}
+}
+
+func main() {
+	var (
+		app     = flag.String("app", "blackscholes", "workload name")
+		scheme  = flag.String("scheme", "yukta-full", "controller scheme")
+		trace   = flag.Bool("trace", false, "print ASCII power/performance traces")
+		maxTime = flag.Duration("max", 25*time.Minute, "simulation time budget")
+		noise   = flag.Float64("noise", 0, "power-sensor noise std-dev in watts (failure injection)")
+		list    = flag.Bool("list", false, "list workloads and schemes")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", yukta.EvaluationApps())
+		fmt.Println("training: ", yukta.TrainingApps())
+		fmt.Println("mixes:    blmc stga blst mcga")
+		fmt.Println("schemes:  coordinated decoupled yukta-hw yukta-full lqg-mono lqg-decoupled")
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "building platform (identification + synthesis)...")
+	p, err := yukta.NewDefaultPlatform()
+	if err != nil {
+		fatal(err)
+	}
+	sch, ok := schemes(p)[*scheme]
+	if !ok {
+		fatal(fmt.Errorf("unknown scheme %q (see -list)", *scheme))
+	}
+	w, err := lookup(*app)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := p.Cfg
+	if *noise > 0 {
+		cfg.SensorNoiseStd = *noise
+		cfg.SensorNoiseSeed = 1
+	}
+	res, err := yukta.Run(cfg, sch, w, yukta.RunOptions{MaxTime: *maxTime})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("app=%s scheme=%q\n", res.App, res.Scheme)
+	fmt.Printf("completed=%v time=%.1fs energy=%.1fJ ExD=%.0fJ·s emergencies=%d\n",
+		res.Completed, res.TimeS, res.EnergyJ, res.ExD, res.EmergencyEvents)
+	st := res.BigPower.Summarize()
+	fmt.Printf("big power: mean=%.2fW max=%.2fW swings=%d\n", st.Mean, st.Max, st.Oscillations)
+	if *trace {
+		fmt.Println(res.BigPower.RenderASCII(76, 10))
+		fmt.Println(res.Perf.RenderASCII(76, 10))
+		fmt.Println(res.Temp.RenderASCII(76, 10))
+	}
+}
+
+// lookup resolves an app or mix name.
+func lookup(name string) (yukta.Workload, error) {
+	for _, m := range yukta.HeterogeneousMixes() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return yukta.LookupWorkload(name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "yukta-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// bigLITTLE compares all six controller schemes on a mixed set of
+// applications — the Figure 9 / Figure 12 experiment in miniature — and
+// prints the normalized E×D table plus the power trace of the best and
+// worst schemes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yukta"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bigLITTLE: ")
+
+	log.Println("building platform...")
+	p, err := yukta.NewDefaultPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	apps := []string{"gamess", "mcf", "blackscholes"}
+	schemes := []yukta.Scheme{
+		p.CoordinatedHeuristic(),
+		p.DecoupledHeuristic(),
+		p.YuktaHWSSVOSHeuristic(yukta.DefaultHWParams()),
+		p.YuktaFullSSV(yukta.DefaultHWParams(), yukta.DefaultOSParams()),
+		p.DecoupledLQG(),
+		p.MonolithicLQG(),
+	}
+
+	baseline := map[string]float64{}
+	results := map[string]map[string]*yukta.RunResult{}
+	for _, sch := range schemes {
+		results[sch.Name] = map[string]*yukta.RunResult{}
+		for _, app := range apps {
+			w, err := yukta.LookupWorkload(app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := yukta.Run(p.Cfg, sch, w, yukta.RunOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[sch.Name][app] = res
+			if sch.Name == "Coordinated heuristic" {
+				baseline[app] = res.ExD
+			}
+		}
+	}
+
+	fmt.Printf("%-28s", "E×D vs baseline")
+	for _, app := range apps {
+		fmt.Printf("%14s", app)
+	}
+	fmt.Println()
+	for _, sch := range schemes {
+		fmt.Printf("%-28s", sch.Name)
+		for _, app := range apps {
+			fmt.Printf("%13.2fx", results[sch.Name][app].ExD/baseline[app])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nbig-cluster power, blackscholes, Yukta full vs decoupled heuristic:")
+	fmt.Println(results["Yukta: HW SSV+OS SSV"]["blackscholes"].BigPower.RenderASCII(72, 8))
+	fmt.Println(results["Decoupled heuristic"]["blackscholes"].BigPower.RenderASCII(72, 8))
+}

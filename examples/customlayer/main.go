@@ -1,0 +1,121 @@
+// customlayer shows how to design an SSV controller for a layer Yukta does
+// not ship — the paper's §III-D scaling story. The example builds a toy
+// "network layer": a link whose send rate and compression level control the
+// observed throughput and the NIC power, with the CPU frequency arriving as
+// an external signal from the hardware layer below.
+//
+// The workflow is the paper's Figure 3: describe the signals, identify a
+// model from recorded data, exchange interface information (here: the
+// external signal's range), synthesize with a guardband, and run the
+// resulting state machine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"yukta/control"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("customlayer: ")
+
+	// ---- 1. The "true" layer we want to control (normally: your system).
+	// Inputs: send rate (0..100 Mb/s, steps of 5), compression (0..4).
+	// External: CPU frequency from the HW layer (0.2..2.0 GHz).
+	// Outputs: goodput (Mb/s), NIC power (W).
+	plant := func(state []float64, rate, comp, cpu float64) (goodput, power float64, next []float64) {
+		// First-order link dynamics with compression trading power for
+		// effective bandwidth, and the CPU frequency limiting compression
+		// throughput.
+		eff := rate * (1 + 0.15*comp*cpu/2.0)
+		goodput = 0.7*state[0] + 0.3*eff*0.9
+		power = 0.5 + 0.02*rate + 0.3*comp*(0.5+cpu/2)
+		return goodput, power, []float64{goodput}
+	}
+
+	// ---- 2. Identification: excite the inputs, record the outputs.
+	rng := rand.New(rand.NewSource(42))
+	rateScale := control.Scaling{Min: 0, Max: 100}
+	compScale := control.Scaling{Min: 0, Max: 4}
+	cpuScale := control.Scaling{Min: 0.2, Max: 2.0}
+	goodScale := control.Scaling{Min: 0, Max: 120}
+	powScale := control.Scaling{Min: 0, Max: 4}
+
+	data := &control.Dataset{}
+	state := []float64{0}
+	for t := 0; t < 600; t++ {
+		rate := float64(rng.Intn(21)) * 5
+		comp := float64(rng.Intn(5))
+		cpu := 0.2 + 0.1*float64(rng.Intn(19))
+		goodput, power, next := plant(state, rate, comp, cpu)
+		state = next
+		data.Append(
+			[]float64{rateScale.Normalize(rate), compScale.Normalize(comp), cpuScale.Normalize(cpu)},
+			[]float64{goodScale.Normalize(goodput), powScale.Normalize(power)},
+		)
+	}
+	model, err := control.Identify(data, control.PaperOrders, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model.Stabilize()
+	fmt.Printf("identified order-4 model: %d states before reduction\n", model.StateSpace().Order())
+
+	// ---- 3. Synthesis: Table II/III-style specification for this layer.
+	spec := &control.Spec{
+		Plant:        model.ReducedStateSpace(8),
+		NumControls:  2, // send rate, compression; CPU frequency is external
+		InputWeights: []float64{1, 1},
+		InputQuanta: []float64{
+			rateScale.QuantumNormalized(5),
+			compScale.QuantumNormalized(1),
+		},
+		OutputBounds: []float64{0.4, 0.2}, // ±20% goodput, ±10% power (of range)
+		Uncertainty:  0.4,                 // ±40% guardband
+	}
+	ctl, err := control.Synthesize(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized SSV controller: N=%d, SSV=%.2f (min(s)=%.2f)\n",
+		ctl.Report.StateDim, ctl.Report.SSV, ctl.Report.MinS)
+
+	// ---- 4. Runtime: close the loop on the true plant.
+	rt, err := control.NewRuntime(control.RuntimeConfig{
+		Controller:     ctl,
+		OutputScales:   []control.Scaling{goodScale, powScale},
+		ExternalScales: []control.Scaling{cpuScale},
+		InputScales:    []control.Scaling{rateScale, compScale},
+		InputLevels: [][]float64{
+			control.Levels(0, 100, 5),
+			control.Levels(0, 4, 1),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.SetTargets([]float64{60, 1.5}); err != nil { // 60 Mb/s at 1.5 W
+		log.Fatal(err)
+	}
+
+	state = []float64{0}
+	rate, comp := 50.0, 2.0
+	cpu := 1.2 // external signal from the layer below
+	var goodput, power float64
+	for t := 0; t < 120; t++ {
+		goodput, power, state = plant(state, rate, comp, cpu)
+		u, err := rt.Step([]float64{goodput, power}, []float64{cpu}, []float64{rate, comp})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rate, comp = u[0], u[1]
+		if t%20 == 19 {
+			fmt.Printf("t=%3d goodput=%5.1f Mb/s (target 60)  power=%.2f W (target 1.5)  rate=%.0f comp=%.0f\n",
+				t+1, goodput, power, rate, comp)
+		}
+	}
+	fmt.Println("done: the network layer tracks its targets with quantized actuators.")
+}

@@ -1,0 +1,3 @@
+module yukta
+
+go 1.22

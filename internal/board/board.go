@@ -1,0 +1,397 @@
+package board
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"yukta/internal/workload"
+)
+
+// Placement is the thread-scheduling decision the OS layer actuates on: how
+// many threads go to the big cluster (the rest run on the little cluster)
+// and the average number of threads packed onto each non-idle core of each
+// cluster (paper Table III).
+type Placement struct {
+	ThreadsBig int
+	// ThreadsLittle records the OS layer's intent for the little cluster;
+	// the physics derives the actual little-cluster load from the workload's
+	// runnable threads minus ThreadsBig, but hardware controllers read this
+	// field as the coordination signal.
+	ThreadsLittle        int
+	ThreadsPerBigCore    float64
+	ThreadsPerLittleCore float64
+}
+
+// Sensors is what the board exposes to controllers at a control interval:
+// the 260 ms power sensor readings, the hot-spot temperature, and
+// perf-counter instruction rates accumulated since the previous control
+// invocation.
+type Sensors struct {
+	TimeS float64
+
+	// BigPowerW and LittlePowerW are the held values of the power sensors
+	// (they update every Config.PowerSensorPeriod).
+	BigPowerW, LittlePowerW float64
+
+	TempC float64
+
+	// BIPS values are derived from performance counters over the last
+	// control interval.
+	BIPS, BIPSBig, BIPSLittle float64
+
+	// Throttled reports whether firmware emergency throttling is currently
+	// engaged on either cluster.
+	Throttled bool
+
+	// EmergencyEvents counts firmware emergency activations so far.
+	EmergencyEvents int
+}
+
+// Board is a simulated ODROID XU3.
+type Board struct {
+	cfg Config
+
+	// Actuator state (what cpufreq/hotplug files would hold).
+	bigCores, littleCores int
+	bigFreq, littleFreq   float64
+	place                 Placement
+
+	// Physics state.
+	tempC   float64
+	nowS    float64
+	energyJ float64
+
+	// Sensor state.
+	sensedBigW, sensedLittleW float64
+	windowBigE, windowLittleE float64 // energy in current sensor window
+	windowStartS              float64
+
+	// Perf counters.
+	instTotal, instBig, instLittle float64 // Ginst, cumulative
+
+	// Migration bookkeeping.
+	migStallS float64
+
+	noise *rand.Rand
+
+	tmu tmu
+}
+
+// New returns a board in its power-on state: all cores online at maximum
+// frequency, ambient temperature.
+func New(cfg Config) *Board {
+	b := &Board{
+		cfg:         cfg,
+		bigCores:    cfg.Big.MaxCores,
+		littleCores: cfg.Little.MaxCores,
+		bigFreq:     cfg.Big.FreqMaxGHz,
+		littleFreq:  cfg.Little.FreqMaxGHz,
+		tempC:       cfg.AmbientC,
+		place: Placement{
+			ThreadsBig:           0,
+			ThreadsPerBigCore:    1,
+			ThreadsPerLittleCore: 1,
+		},
+	}
+	if cfg.SensorNoiseStd > 0 {
+		b.noise = rand.New(rand.NewSource(cfg.SensorNoiseSeed + 1))
+	}
+	b.tmu = newTMU(cfg)
+	return b
+}
+
+// Config returns the board's configuration.
+func (b *Board) Config() Config { return b.cfg }
+
+// quantizeFreq clamps f into the cluster's range and rounds to the step grid.
+func quantizeFreq(c ClusterConfig, f float64) float64 {
+	if f < c.FreqMinGHz {
+		f = c.FreqMinGHz
+	}
+	if f > c.FreqMaxGHz {
+		f = c.FreqMaxGHz
+	}
+	steps := math.Round((f - c.FreqMinGHz) / c.FreqStepGHz)
+	// Round to a clean multiple: operating points are exact firmware table
+	// entries, not accumulated floating-point sums.
+	return math.Round((c.FreqMinGHz+steps*c.FreqStepGHz)*1e6) / 1e6
+}
+
+// SetBigCores hotplugs the big cluster to n cores (1..4).
+func (b *Board) SetBigCores(n int) {
+	b.bigCores = clampInt(n, 1, b.cfg.Big.MaxCores)
+}
+
+// SetLittleCores hotplugs the little cluster to n cores (1..4).
+func (b *Board) SetLittleCores(n int) {
+	b.littleCores = clampInt(n, 1, b.cfg.Little.MaxCores)
+}
+
+// SetBigFreq requests a big-cluster frequency in GHz; the value is clamped
+// and quantized to the DVFS grid. An actual change stalls the board briefly
+// (the PLL relock / voltage ramp of a real cpufreq transition).
+func (b *Board) SetBigFreq(ghz float64) {
+	f := quantizeFreq(b.cfg.Big, ghz)
+	if f != b.bigFreq {
+		b.migStallS += b.cfg.DVFSTransition.Seconds()
+	}
+	b.bigFreq = f
+}
+
+// SetLittleFreq requests a little-cluster frequency in GHz.
+func (b *Board) SetLittleFreq(ghz float64) {
+	f := quantizeFreq(b.cfg.Little, ghz)
+	if f != b.littleFreq {
+		b.migStallS += b.cfg.DVFSTransition.Seconds()
+	}
+	b.littleFreq = f
+}
+
+// BigCores returns the hotplug state of the big cluster.
+func (b *Board) BigCores() int { return b.bigCores }
+
+// LittleCores returns the hotplug state of the little cluster.
+func (b *Board) LittleCores() int { return b.littleCores }
+
+// BigFreq returns the requested big-cluster frequency (GHz).
+func (b *Board) BigFreq() float64 { return b.bigFreq }
+
+// LittleFreq returns the requested little-cluster frequency (GHz).
+func (b *Board) LittleFreq() float64 { return b.littleFreq }
+
+// EffectiveBigFreq returns the frequency after firmware throttle caps.
+func (b *Board) EffectiveBigFreq() float64 { return math.Min(b.bigFreq, b.tmu.bigCap) }
+
+// EffectiveLittleFreq returns the little frequency after firmware caps.
+func (b *Board) EffectiveLittleFreq() float64 { return math.Min(b.littleFreq, b.tmu.littleCap) }
+
+// Place sets the thread placement. Changing the placement charges the
+// migration penalty for every thread whose cluster assignment changes.
+func (b *Board) Place(p Placement) {
+	if p.ThreadsPerBigCore < 1 {
+		p.ThreadsPerBigCore = 1
+	}
+	if p.ThreadsPerLittleCore < 1 {
+		p.ThreadsPerLittleCore = 1
+	}
+	if p.ThreadsBig < 0 {
+		p.ThreadsBig = 0
+	}
+	if p.ThreadsLittle < 0 {
+		p.ThreadsLittle = 0
+	}
+	moved := absInt(p.ThreadsBig - b.place.ThreadsBig)
+	b.migStallS += float64(moved) * b.cfg.MigrationPenalty.Seconds()
+	b.place = p
+}
+
+// ChargeMigrations charges the migration/cache-warmup penalty for n thread
+// migrations that occurred without a placement-count change (e.g. a
+// round-robin scheduler rotating thread-to-core assignments).
+func (b *Board) ChargeMigrations(n int) {
+	if n > 0 {
+		b.migStallS += float64(n) * b.cfg.MigrationPenalty.Seconds()
+	}
+}
+
+// Placement returns the current thread placement.
+func (b *Board) Placement() Placement { return b.place }
+
+// TimeS returns the simulated wall-clock time in seconds.
+func (b *Board) TimeS() float64 { return b.nowS }
+
+// EnergyJ returns the cumulative energy in joules.
+func (b *Board) EnergyJ() float64 { return b.energyJ }
+
+// TempC returns the instantaneous hot-spot temperature.
+func (b *Board) TempC() float64 { return b.tempC }
+
+// clusterState captures the per-step operating point of one cluster.
+type clusterState struct {
+	threads   int
+	busyCores int
+	tpc       float64 // threads per busy core
+	rateGIPS  float64 // instructions per second (billions)
+	powerW    float64
+}
+
+// evalCluster computes instruction rate and power for one cluster.
+func (b *Board) evalCluster(c ClusterConfig, coresOn int, freq float64, threads int,
+	tpcWanted float64, ipc, memBound float64, totalBusy int) clusterState {
+
+	st := clusterState{threads: threads}
+	v := c.VoltBase + c.VoltPerGHz*freq
+
+	busy := 0
+	if threads > 0 {
+		busy = int(math.Ceil(float64(threads) / tpcWanted))
+		busy = clampInt(busy, 1, coresOn)
+	}
+	st.busyCores = busy
+	if busy > 0 {
+		st.tpc = float64(threads) / float64(busy)
+	}
+
+	// Memory-boundedness inflated by bandwidth contention across all busy
+	// cores on the chip.
+	mb := memBound * (1 + b.cfg.MemContentionPerCore*float64(maxInt(totalBusy-1, 0)))
+	if mb > 0.92 {
+		mb = 0.92
+	}
+
+	// Roofline per-core rate: ipc*f at the reference frequency, saturating
+	// toward the bandwidth ceiling as f grows.
+	var ratePerCore float64
+	if busy > 0 && ipc > 0 {
+		ratePerCore = ipc * freq / ((1 - mb) + mb*freq/c.RefFreqGHz)
+	}
+	mux := 1.0
+	if st.tpc > 1 {
+		mux = math.Pow(b.cfg.MuxEfficiency, st.tpc-1)
+	}
+	st.rateGIPS = float64(busy) * ratePerCore * mux
+
+	// Power: busy cores burn full dynamic power weighted by stall activity;
+	// idle-but-on cores burn the idle activity; all on cores leak.
+	activity := (1 - mb) + mb*c.StallPowerFactor
+	pBusy := float64(busy) * c.CdynWPerV2GHz * v * v * freq * activity
+	pIdle := float64(coresOn-busy) * c.CdynWPerV2GHz * v * v * freq * c.IdleActivity
+	leak := float64(coresOn) * c.StaticBaseW * math.Exp((b.tempC-50)/c.StaticTempScaleC)
+	st.powerW = pBusy + pIdle + leak
+	return st
+}
+
+// Run advances the board by dt while executing w, and returns the sensor
+// view a controller invoked at the end of the interval would observe.
+func (b *Board) Run(w workload.Workload, dt time.Duration) Sensors {
+	stepS := b.cfg.SimStep.Seconds()
+	nSteps := int(math.Round(dt.Seconds() / stepS))
+	if nSteps < 1 {
+		nSteps = 1
+	}
+	var instT, instB, instL float64
+	for i := 0; i < nSteps; i++ {
+		p := w.Profile()
+		threads := p.Threads
+
+		threadsBig := clampInt(b.place.ThreadsBig, 0, threads)
+		threadsLittle := threads - threadsBig
+
+		fBig := b.EffectiveBigFreq()
+		fLittle := b.EffectiveLittleFreq()
+
+		// First pass estimates busy cores for contention.
+		estBusyBig := 0
+		if threadsBig > 0 {
+			estBusyBig = clampInt(int(math.Ceil(float64(threadsBig)/b.place.ThreadsPerBigCore)), 1, b.bigCores)
+		}
+		estBusyLittle := 0
+		if threadsLittle > 0 {
+			estBusyLittle = clampInt(int(math.Ceil(float64(threadsLittle)/b.place.ThreadsPerLittleCore)), 1, b.littleCores)
+		}
+		totalBusy := estBusyBig + estBusyLittle
+
+		big := b.evalCluster(b.cfg.Big, b.bigCores, fBig, threadsBig,
+			b.place.ThreadsPerBigCore, p.IPCBig, p.MemBound, totalBusy)
+		little := b.evalCluster(b.cfg.Little, b.littleCores, fLittle, threadsLittle,
+			b.place.ThreadsPerLittleCore, p.IPCLittle, p.MemBound, totalBusy)
+
+		// Migration stalls eat into this step's execution.
+		execS := stepS
+		if b.migStallS > 0 {
+			if b.migStallS >= stepS {
+				b.migStallS -= stepS
+				execS = 0
+			} else {
+				execS = stepS - b.migStallS
+				b.migStallS = 0
+			}
+		}
+
+		gB := big.rateGIPS * execS
+		gL := little.rateGIPS * execS
+		w.Advance(gB + gL)
+		instB += gB
+		instL += gL
+		instT += gB + gL
+
+		pTotal := big.powerW + little.powerW + b.cfg.BasePowerW
+		b.energyJ += pTotal * stepS
+		b.windowBigE += big.powerW * stepS
+		b.windowLittleE += little.powerW * stepS
+
+		// Thermal RC integration.
+		tss := b.cfg.AmbientC + b.cfg.ThermalRCW*pTotal
+		b.tempC += stepS * (tss - b.tempC) / b.cfg.ThermalTauS
+
+		b.nowS += stepS
+
+		// Power sensors latch the window average every sensor period.
+		if b.nowS-b.windowStartS >= b.cfg.PowerSensorPeriod.Seconds()-1e-9 {
+			win := b.nowS - b.windowStartS
+			b.sensedBigW = b.windowBigE / win
+			b.sensedLittleW = b.windowLittleE / win
+			if b.noise != nil {
+				b.sensedBigW = math.Max(0, b.sensedBigW+b.noise.NormFloat64()*b.cfg.SensorNoiseStd)
+				b.sensedLittleW = math.Max(0, b.sensedLittleW+b.noise.NormFloat64()*b.cfg.SensorNoiseStd/10)
+			}
+			b.windowBigE, b.windowLittleE = 0, 0
+			b.windowStartS = b.nowS
+		}
+
+		// Firmware emergency management sees instantaneous physics.
+		b.tmu.step(b, big.powerW, little.powerW, stepS)
+	}
+	b.instTotal += instT
+	b.instBig += instB
+	b.instLittle += instL
+
+	intervalS := float64(nSteps) * stepS
+	tempRead := b.tempC
+	if b.noise != nil {
+		tempRead += b.noise.NormFloat64() * b.cfg.SensorNoiseStd / 10
+	}
+	return Sensors{
+		TimeS:           b.nowS,
+		BigPowerW:       b.sensedBigW,
+		LittlePowerW:    b.sensedLittleW,
+		TempC:           tempRead,
+		BIPS:            instT / intervalS,
+		BIPSBig:         instB / intervalS,
+		BIPSLittle:      instL / intervalS,
+		Throttled:       b.tmu.engagedBig || b.tmu.engagedLittle || b.tmu.engagedTemp,
+		EmergencyEvents: b.tmu.events,
+	}
+}
+
+// String summarizes the board state for logs.
+func (b *Board) String() string {
+	return fmt.Sprintf("board[t=%.1fs big=%dc@%.1fGHz little=%dc@%.1fGHz T=%.1fC E=%.1fJ]",
+		b.nowS, b.bigCores, b.bigFreq, b.littleCores, b.littleFreq, b.tempC, b.energyJ)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

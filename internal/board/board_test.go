@@ -1,0 +1,292 @@
+package board
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"yukta/internal/workload"
+)
+
+// steadyApp returns a long compute or memory-bound app for physics tests.
+func steadyApp(t *testing.T, memBound float64) *workload.App {
+	t.Helper()
+	a, err := workload.NewApp("steady", "TEST", 1e6, []workload.Phase{
+		{WorkFrac: 1, Threads: 8, MemBound: memBound, IPCBig: 1.6, IPCLittle: 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func allBig(b *Board) {
+	b.Place(Placement{ThreadsBig: 8, ThreadsPerBigCore: 2, ThreadsPerLittleCore: 1})
+}
+
+func TestFrequencyQuantization(t *testing.T) {
+	b := New(DefaultConfig())
+	b.SetBigFreq(1.234)
+	if got := b.BigFreq(); math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("freq %v, want 1.2", got)
+	}
+	b.SetBigFreq(5.0)
+	if got := b.BigFreq(); got != 2.0 {
+		t.Fatalf("freq %v, want clamp to 2.0", got)
+	}
+	b.SetBigFreq(0.01)
+	if got := b.BigFreq(); got != 0.2 {
+		t.Fatalf("freq %v, want clamp to 0.2", got)
+	}
+	b.SetLittleFreq(1.37)
+	if got := b.LittleFreq(); math.Abs(got-1.4) > 1e-12 {
+		t.Fatalf("little freq %v, want 1.4", got)
+	}
+}
+
+func TestHotplugClamping(t *testing.T) {
+	b := New(DefaultConfig())
+	b.SetBigCores(0)
+	if b.BigCores() != 1 {
+		t.Fatalf("cores %d, want min 1", b.BigCores())
+	}
+	b.SetLittleCores(9)
+	if b.LittleCores() != 4 {
+		t.Fatalf("cores %d, want max 4", b.LittleCores())
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	// With the same load, higher frequency must draw more power.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f1 := 0.2 + 0.1*float64(rng.Intn(18))
+		f2 := f1 + 0.1
+		measure := func(freq float64) float64 {
+			cfg := DefaultConfig()
+			b := New(cfg)
+			w := steadyApp(t, 0.2)
+			b.SetBigFreq(freq)
+			b.SetLittleFreq(0.6)
+			// One big core keeps the operating point below the firmware
+			// emergency thresholds so raw physics is measured.
+			b.SetBigCores(1)
+			b.Place(Placement{ThreadsBig: 8, ThreadsPerBigCore: 8, ThreadsPerLittleCore: 1})
+			var last Sensors
+			for i := 0; i < 8; i++ {
+				last = b.Run(w, 500*time.Millisecond)
+			}
+			return last.BigPowerW
+		}
+		return measure(f2) > measure(f1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerformanceSaturatesForMemoryBound(t *testing.T) {
+	// A memory-bound app gains much less from frequency than a compute-bound
+	// one.
+	gain := func(mb float64) float64 {
+		rate := func(freq float64) float64 {
+			b := New(DefaultConfig())
+			w := steadyApp(t, mb)
+			b.SetBigFreq(freq)
+			// Stay below the emergency thresholds to measure raw scaling.
+			b.SetBigCores(1)
+			b.Place(Placement{ThreadsBig: 8, ThreadsPerBigCore: 8, ThreadsPerLittleCore: 1})
+			var s Sensors
+			for i := 0; i < 4; i++ {
+				s = b.Run(w, 500*time.Millisecond)
+			}
+			return s.BIPSBig
+		}
+		return rate(2.0) / rate(0.5)
+	}
+	gCompute := gain(0.05)
+	gMem := gain(0.8)
+	if gCompute < 2.5 {
+		t.Fatalf("compute-bound frequency gain %v too small", gCompute)
+	}
+	if gMem > gCompute*0.6 {
+		t.Fatalf("memory-bound gain %v not saturating vs %v", gMem, gCompute)
+	}
+}
+
+func TestEnergyAccumulatesAndMatchesPower(t *testing.T) {
+	b := New(DefaultConfig())
+	w := steadyApp(t, 0.2)
+	allBig(b)
+	e0 := b.EnergyJ()
+	b.Run(w, 1*time.Second)
+	e1 := b.EnergyJ()
+	if e1 <= e0 {
+		t.Fatal("energy must increase")
+	}
+	// Energy over 1 s should be within a factor of the instantaneous powers
+	// (big is several watts here, base 0.6 W).
+	if e1-e0 < 1.0 || e1-e0 > 20 {
+		t.Fatalf("energy over 1s = %v J, implausible", e1-e0)
+	}
+}
+
+func TestThermalRiseAndEmergency(t *testing.T) {
+	cfg := DefaultConfig()
+	b := New(cfg)
+	w := steadyApp(t, 0.1)
+	// Full blast: 4 big cores at 2.0 GHz must eventually cross the thermal
+	// emergency threshold and engage throttling.
+	allBig(b)
+	var s Sensors
+	for i := 0; i < 240; i++ { // 2 minutes
+		s = b.Run(w, 500*time.Millisecond)
+	}
+	if s.EmergencyEvents == 0 {
+		t.Fatalf("no emergency engaged at T=%v, big power=%v", s.TempC, s.BigPowerW)
+	}
+	// Firmware cap must have reduced the effective frequency.
+	if b.EffectiveBigFreq() >= cfg.Big.FreqMaxGHz {
+		t.Fatalf("throttle did not cap frequency: %v", b.EffectiveBigFreq())
+	}
+	// Temperature must stabilize near/below the emergency zone rather than
+	// diverging.
+	if s.TempC > cfg.TempEmergencyC+8 {
+		t.Fatalf("temperature ran away: %v", s.TempC)
+	}
+}
+
+func TestSafeOperatingPointStaysCool(t *testing.T) {
+	cfg := DefaultConfig()
+	b := New(cfg)
+	w := steadyApp(t, 0.2)
+	b.SetBigFreq(1.0)
+	b.SetBigCores(2)
+	b.SetLittleFreq(0.8)
+	allBig(b)
+	var s Sensors
+	for i := 0; i < 240; i++ {
+		s = b.Run(w, 500*time.Millisecond)
+	}
+	if s.EmergencyEvents != 0 {
+		t.Fatalf("emergency at a safe operating point (T=%v P=%v)", s.TempC, s.BigPowerW)
+	}
+	if s.TempC >= cfg.TempEmergencyC {
+		t.Fatalf("temp %v too high for safe point", s.TempC)
+	}
+}
+
+func TestPowerSensorHolds(t *testing.T) {
+	// The power sensor only updates every 260 ms; within a 100 ms window the
+	// reported value must be the held one.
+	cfg := DefaultConfig()
+	b := New(cfg)
+	w := steadyApp(t, 0.2)
+	allBig(b)
+	b.Run(w, 1*time.Second) // prime the sensor
+	s1 := b.Run(w, 100*time.Millisecond)
+	s2 := b.Run(w, 100*time.Millisecond)
+	// Two reads 100ms apart can see at most one sensor update; mostly they
+	// are identical. Verify the sensor changes only at period boundaries by
+	// counting distinct values over 10 short reads.
+	distinct := map[float64]bool{s1.BigPowerW: true, s2.BigPowerW: true}
+	for i := 0; i < 8; i++ {
+		s := b.Run(w, 100*time.Millisecond)
+		distinct[s.BigPowerW] = true
+	}
+	// 1 s of reads with a 260 ms period gives at most ~5 updates.
+	if len(distinct) > 6 {
+		t.Fatalf("power sensor updated too often: %d distinct values", len(distinct))
+	}
+}
+
+func TestBIPSCountsWork(t *testing.T) {
+	b := New(DefaultConfig())
+	w := steadyApp(t, 0.1)
+	allBig(b)
+	s := b.Run(w, 1*time.Second)
+	// 4 big cores at 2 GHz, IPC 1.6, mostly compute bound: order 10 BIPS.
+	if s.BIPS < 4 || s.BIPS > 16 {
+		t.Fatalf("BIPS = %v, implausible", s.BIPS)
+	}
+	if s.BIPSBig <= s.BIPSLittle {
+		t.Fatalf("big cluster should dominate: big=%v little=%v", s.BIPSBig, s.BIPSLittle)
+	}
+}
+
+func TestPlacementSplitsWork(t *testing.T) {
+	b := New(DefaultConfig())
+	w := steadyApp(t, 0.1)
+	b.Place(Placement{ThreadsBig: 4, ThreadsPerBigCore: 1, ThreadsPerLittleCore: 1})
+	s := b.Run(w, 1*time.Second)
+	if s.BIPSLittle <= 0 {
+		t.Fatal("little cluster should execute the other 4 threads")
+	}
+}
+
+func TestMigrationPenaltyReducesThroughput(t *testing.T) {
+	run := func(migrate bool) float64 {
+		b := New(DefaultConfig())
+		w := steadyApp(t, 0.1)
+		allBig(b)
+		var total float64
+		for i := 0; i < 40; i++ {
+			if migrate {
+				// Bounce threads between clusters every interval.
+				tb := 8
+				if i%2 == 0 {
+					tb = 0
+				}
+				b.Place(Placement{ThreadsBig: tb, ThreadsPerBigCore: 2, ThreadsPerLittleCore: 2})
+			}
+			s := b.Run(w, 500*time.Millisecond)
+			total += s.BIPS
+		}
+		return total
+	}
+	stable := run(false)
+	thrash := run(true)
+	if thrash >= stable {
+		t.Fatalf("thrashing (%v) should not beat stable placement (%v)", thrash, stable)
+	}
+}
+
+func TestWorkloadCompletionStopsCounting(t *testing.T) {
+	a, err := workload.NewApp("tiny", "TEST", 0.5, []workload.Phase{
+		{WorkFrac: 1, Threads: 8, MemBound: 0.1, IPCBig: 1.6, IPCLittle: 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(DefaultConfig())
+	allBig(b)
+	for i := 0; i < 20 && !a.Done(); i++ {
+		b.Run(a, 500*time.Millisecond)
+	}
+	if !a.Done() {
+		t.Fatal("tiny workload should complete quickly")
+	}
+	s := b.Run(a, 500*time.Millisecond)
+	if s.BIPS != 0 {
+		t.Fatalf("BIPS %v after completion, want 0", s.BIPS)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		b := New(DefaultConfig())
+		w := workload.MustLookup("blackscholes")
+		allBig(b)
+		for i := 0; i < 100; i++ {
+			b.Run(w, 500*time.Millisecond)
+		}
+		return b.EnergyJ(), b.TempC()
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("simulation not deterministic: (%v,%v) vs (%v,%v)", e1, t1, e2, t2)
+	}
+}

@@ -1,0 +1,120 @@
+package board
+
+import "math"
+
+// tmu models the Exynos firmware emergency heuristics (paper §V-A and
+// [57][58][59]): when a cluster's power or the hot-spot temperature stays
+// beyond a preset threshold for an extended period, the firmware caps the
+// cluster frequency, stepping it down until the violation clears; after the
+// signal stays below the threshold (with hysteresis) for a release delay,
+// the cap is raised back one step at a time. This behaviour — not under the
+// controllers' authority — is what makes the Decoupled heuristic scheme
+// oscillate in Figure 10(b).
+type tmu struct {
+	cfg Config
+
+	bigCap, littleCap float64 // current frequency caps (GHz)
+
+	overBigS, overLittleS, overTempS    float64 // sustained violation timers
+	underBigS, underLittleS, underTempS float64 // sustained safe timers
+	sinceStepS                          float64
+
+	engagedBig, engagedLittle, engagedTemp bool
+	events                                 int
+}
+
+func newTMU(cfg Config) tmu {
+	return tmu{
+		cfg:       cfg,
+		bigCap:    cfg.Big.FreqMaxGHz,
+		littleCap: cfg.Little.FreqMaxGHz,
+	}
+}
+
+// step advances the firmware state machine by dt seconds given instantaneous
+// cluster powers.
+func (t *tmu) step(b *Board, bigW, littleW, dt float64) {
+	t.sinceStepS += dt
+
+	track := func(over bool, overS, underS *float64) {
+		if over {
+			*overS += dt
+			*underS = 0
+		} else {
+			*underS += dt
+			*overS = 0
+		}
+	}
+	track(bigW > t.cfg.BigPowerEmergencyW, &t.overBigS, &t.underBigS)
+	track(littleW > t.cfg.LittlePowerEmergencyW, &t.overLittleS, &t.underLittleS)
+	track(b.tempC > t.cfg.TempEmergencyC, &t.overTempS, &t.underTempS)
+
+	hold := t.cfg.EmergencyHold.Seconds()
+	release := t.cfg.EmergencyReleaseDelay.Seconds()
+	hystBig := t.cfg.BigPowerEmergencyW * (1 - t.cfg.EmergencyHysteresisPct)
+	hystLittle := t.cfg.LittlePowerEmergencyW * (1 - t.cfg.EmergencyHysteresisPct)
+	hystTemp := t.cfg.TempEmergencyC - 2
+
+	if t.sinceStepS < t.cfg.EmergencyStepPeriod.Seconds() {
+		return
+	}
+	t.sinceStepS = 0
+
+	// While a sustained violation persists, the firmware steps the cap down
+	// two levels per step period; after the signal has stayed below the
+	// release threshold for the release delay, it raises the cap one level
+	// per period. The asymmetry (fast attack, slow release) is what makes a
+	// governor that races back to maximum oscillate in large sweeps
+	// (Fig. 10(b)) while leaving well-behaved controllers alone.
+	// Big-cluster power emergency.
+	switch {
+	case t.overBigS >= hold:
+		if !t.engagedBig {
+			t.engagedBig = true
+			t.events++
+		}
+		t.bigCap = math.Max(t.cfg.Big.FreqMinGHz,
+			math.Min(t.bigCap, b.EffectiveBigFreq())-2*t.cfg.Big.FreqStepGHz)
+	case t.engagedBig && t.underBigS >= release && bigW < hystBig:
+		t.bigCap += t.cfg.Big.FreqStepGHz
+		if t.bigCap >= t.cfg.Big.FreqMaxGHz {
+			t.bigCap = t.cfg.Big.FreqMaxGHz
+			t.engagedBig = false
+		}
+	}
+
+	// Little-cluster power emergency.
+	switch {
+	case t.overLittleS >= hold:
+		if !t.engagedLittle {
+			t.engagedLittle = true
+			t.events++
+		}
+		t.littleCap = math.Max(t.cfg.Little.FreqMinGHz,
+			math.Min(t.littleCap, b.EffectiveLittleFreq())-2*t.cfg.Little.FreqStepGHz)
+	case t.engagedLittle && t.underLittleS >= release && littleW < hystLittle:
+		t.littleCap += t.cfg.Little.FreqStepGHz
+		if t.littleCap >= t.cfg.Little.FreqMaxGHz {
+			t.littleCap = t.cfg.Little.FreqMaxGHz
+			t.engagedLittle = false
+		}
+	}
+
+	// Thermal emergency: caps the big cluster hard (the A15s dominate the
+	// hot spot on the XU3).
+	switch {
+	case t.overTempS >= hold:
+		if !t.engagedTemp {
+			t.engagedTemp = true
+			t.events++
+		}
+		t.bigCap = math.Max(t.cfg.Big.FreqMinGHz,
+			math.Min(t.bigCap, b.EffectiveBigFreq())-3*t.cfg.Big.FreqStepGHz)
+	case t.engagedTemp && t.underTempS >= release && b.tempC < hystTemp:
+		t.bigCap += t.cfg.Big.FreqStepGHz
+		if t.bigCap >= t.cfg.Big.FreqMaxGHz {
+			t.bigCap = t.cfg.Big.FreqMaxGHz
+			t.engagedTemp = false
+		}
+	}
+}

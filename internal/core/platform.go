@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"yukta/internal/board"
+	"yukta/internal/heuristic"
+	"yukta/internal/lqgctl"
+	"yukta/internal/lti"
+	"yukta/internal/robust"
+	"yukta/internal/ssvctl"
+)
+
+// Platform bundles everything derived from one identification campaign on
+// one board configuration: the training data, the fitted models for every
+// controller variant, and the signal scalings. Experiments construct it once
+// and synthesize controllers from it.
+type Platform struct {
+	Cfg  board.Config
+	Lim  heuristic.Limits
+	Data *TrainingData
+
+	HW, OS, HWOnly, OSOnly, Mono *lti.StateSpace
+
+	// Caches of validated controllers: synthesis plus validation costs a few
+	// seconds, and experiment sweeps reuse the same designs across many runs.
+	mu      sync.Mutex
+	hwCache map[HWParams]*robust.Controller
+	osCache map[OSParams]*robust.Controller
+}
+
+// NewPlatform collects training data on the given board configuration and
+// fits the four models used by the schemes.
+func NewPlatform(cfg board.Config, opt IdentifyOptions) (*Platform, error) {
+	td, err := CollectTrainingData(cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{Cfg: cfg, Lim: heuristic.DefaultLimits(), Data: td}
+	if p.HW, err = td.HWModel(); err != nil {
+		return nil, err
+	}
+	if p.OS, err = td.OSModel(); err != nil {
+		return nil, err
+	}
+	if p.HWOnly, err = td.HWOnlyModel(); err != nil {
+		return nil, err
+	}
+	if p.OSOnly, err = td.OSOnlyModel(); err != nil {
+		return nil, err
+	}
+	if p.Mono, err = td.MonoModel(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// HWParams are the designer knobs of the hardware controller (Table II),
+// exposed for the sensitivity studies of §VI-E.
+type HWParams struct {
+	// PerfBoundFrac is the performance deviation bound as a fraction of the
+	// signal range (paper default ±20%).
+	PerfBoundFrac float64
+	// CriticalBoundFrac is the bound for the board-integrity outputs —
+	// cluster powers and temperature (paper default ±10%).
+	CriticalBoundFrac float64
+	// Uncertainty is the guardband (paper default ±40%).
+	Uncertainty float64
+	// InputWeight applies to all four inputs (paper default 1; §VI-E3 sweeps
+	// 0.5–2).
+	InputWeight float64
+}
+
+// DefaultHWParams returns Table II's values.
+func DefaultHWParams() HWParams {
+	return HWParams{PerfBoundFrac: 0.2, CriticalBoundFrac: 0.1, Uncertainty: 0.4, InputWeight: 1}
+}
+
+// OSParams are the designer knobs of the software controller (Table III).
+type OSParams struct {
+	// BoundFrac is the deviation bound for all three outputs (paper ±20%).
+	BoundFrac float64
+	// Uncertainty is the guardband (paper ±50%).
+	Uncertainty float64
+	// InputWeight applies to all three inputs (paper 2 — twice the HW
+	// controller's, §IV-B).
+	InputWeight float64
+}
+
+// DefaultOSParams returns Table III's values.
+func DefaultOSParams() OSParams {
+	return OSParams{BoundFrac: 0.2, Uncertainty: 0.5, InputWeight: 2}
+}
+
+// fracToNorm converts "fraction of the physical range" to normalized units
+// (the normalized range [-1,1] spans 2 units).
+func fracToNorm(frac float64) float64 { return 2 * frac }
+
+// quantaFor returns the normalized quantization step of the given input
+// columns.
+func (p *Platform) quantaFor(cols []int) []float64 {
+	scales := inputScales(p.Cfg)
+	levels := inputLevels(p.Cfg)
+	out := make([]float64, len(cols))
+	for i, c := range cols {
+		step := 0.0
+		if len(levels[c]) > 1 {
+			step = levels[c][1] - levels[c][0]
+		}
+		out[i] = scales[c].QuantumNormalized(step)
+	}
+	return out
+}
+
+// SynthesizeHWSSV runs the SSV design loop for the hardware controller of
+// Table II with the given designer knobs (without the Fig. 3 validation
+// stage; see SynthesizeHWSSVValidated).
+func (p *Platform) SynthesizeHWSSV(hp HWParams) (*robust.Controller, error) {
+	return p.synthesizeHWSSVAt(hp, 0)
+}
+
+// DesignHWAtPenalty synthesizes a single hardware-controller candidate at a
+// fixed penalty and reports its SSV (for the Fig. 16a sensitivity study).
+func (p *Platform) DesignHWAtPenalty(hp HWParams, rho float64) (*robust.Controller, error) {
+	return robust.DesignAtPenalty(p.hwSpec(hp, 0), rho)
+}
+
+// synthesizeHWSSVAt synthesizes with an explicit penalty floor.
+func (p *Platform) synthesizeHWSSVAt(hp HWParams, minPenalty float64) (*robust.Controller, error) {
+	return robust.Synthesize(p.hwSpec(hp, minPenalty))
+}
+
+// hwSpec builds the Table II specification.
+func (p *Platform) hwSpec(hp HWParams, minPenalty float64) *robust.Spec {
+	return &robust.Spec{
+		Plant:       p.HW,
+		NumControls: 4,
+		InputWeights: []float64{
+			hp.InputWeight, hp.InputWeight, hp.InputWeight, hp.InputWeight,
+		},
+		InputQuanta: p.quantaFor(hwInCols[:4]),
+		OutputBounds: []float64{
+			fracToNorm(hp.PerfBoundFrac),     // performance ±20%
+			fracToNorm(hp.CriticalBoundFrac), // power big ±10%
+			fracToNorm(hp.CriticalBoundFrac), // power little ±10%
+			fracToNorm(hp.CriticalBoundFrac), // temperature ±10%
+		},
+		Uncertainty: hp.Uncertainty,
+		// Reference magnitudes match the optimizer: performance and power
+		// targets move in small steps, the temperature target is fixed.
+		TargetScales: []float64{0.15, 0.12, 0.12, 0.02},
+		MinPenalty:   minPenalty,
+	}
+}
+
+// SynthesizeOSSSV runs the SSV design loop for the software controller of
+// Table III (without the Fig. 3 validation stage).
+func (p *Platform) SynthesizeOSSSV(op OSParams) (*robust.Controller, error) {
+	return p.synthesizeOSSSVAt(op, 0)
+}
+
+// synthesizeOSSSVAt synthesizes with an explicit penalty floor.
+func (p *Platform) synthesizeOSSSVAt(op OSParams, minPenalty float64) (*robust.Controller, error) {
+	spec := &robust.Spec{
+		Plant:        p.OS,
+		NumControls:  3,
+		InputWeights: []float64{op.InputWeight, op.InputWeight, op.InputWeight},
+		InputQuanta:  p.quantaFor(osInCols[:3]),
+		OutputBounds: []float64{
+			fracToNorm(op.BoundFrac), fracToNorm(op.BoundFrac), fracToNorm(op.BoundFrac),
+		},
+		Uncertainty:  op.Uncertainty,
+		TargetScales: []float64{0.1, 0.15, 0.1},
+		MinPenalty:   minPenalty,
+	}
+	return robust.Synthesize(spec)
+}
+
+// HWControllerValidated returns the cached validated hardware controller
+// for the given knobs, designing it on first use.
+func (p *Platform) HWControllerValidated(hp HWParams) (*robust.Controller, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hwCache == nil {
+		p.hwCache = make(map[HWParams]*robust.Controller)
+	}
+	if ctl, ok := p.hwCache[hp]; ok {
+		return ctl, nil
+	}
+	ctl, err := p.SynthesizeHWSSVValidated(hp)
+	if err != nil {
+		return nil, err
+	}
+	p.hwCache[hp] = ctl
+	return ctl, nil
+}
+
+// OSControllerValidated returns the cached validated software controller for
+// the given knobs, designing it on first use (validated against the default
+// hardware controller).
+func (p *Platform) OSControllerValidated(op OSParams) (*robust.Controller, error) {
+	hwCtl, err := p.HWControllerValidated(DefaultHWParams())
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.osCache == nil {
+		p.osCache = make(map[OSParams]*robust.Controller)
+	}
+	if ctl, ok := p.osCache[op]; ok {
+		return ctl, nil
+	}
+	ctl, err := p.SynthesizeOSSSVValidated(op, hwCtl)
+	if err != nil {
+		return nil, err
+	}
+	p.osCache[op] = ctl
+	return ctl, nil
+}
+
+// NewHWRuntime wires a synthesized hardware controller to the board signals.
+func (p *Platform) NewHWRuntime(ctl *robust.Controller) (*ssvctl.Runtime, error) {
+	return ssvctl.New(ssvctl.Config{
+		Controller:     ctl,
+		OutputScales:   scalesFor(p.Data.OutScales, hwOutCols),
+		ExternalScales: scalesFor(inputScales(p.Cfg), hwInCols[4:]),
+		InputScales:    scalesFor(inputScales(p.Cfg), hwInCols[:4]),
+		InputLevels:    levelsFor(inputLevels(p.Cfg), hwInCols[:4]),
+		// Hotplug one core and at most two DVFS steps per interval.
+		SlewLevels: []int{1, 1, 2, 2},
+	})
+}
+
+// NewOSRuntime wires a synthesized software controller to the board signals.
+func (p *Platform) NewOSRuntime(ctl *robust.Controller) (*ssvctl.Runtime, error) {
+	return ssvctl.New(ssvctl.Config{
+		Controller:     ctl,
+		OutputScales:   scalesFor(p.Data.OutScales, osOutCols),
+		ExternalScales: scalesFor(inputScales(p.Cfg), osInCols[3:]),
+		InputScales:    scalesFor(inputScales(p.Cfg), osInCols[:3]),
+		InputLevels:    levelsFor(inputLevels(p.Cfg), osInCols[:3]),
+		// Migrate at most two threads and shift packing one level per
+		// interval.
+		SlewLevels: []int{2, 1, 1},
+	})
+}
+
+// SynthesizeMonolithicLQG builds the single LQG controller that manages both
+// layers (§VI-B, the use in [35]): all seven actuators are controls and all
+// seven observable signals are outputs.
+func (p *Platform) SynthesizeMonolithicLQG() (*robust.Controller, error) {
+	weights := make([]float64, numInputs)
+	for i := range weights {
+		weights[i] = 1
+	}
+	return robust.SynthesizeLQG(&robust.Spec{
+		Plant:        p.Mono, // 7 inputs → 7 outputs
+		NumControls:  numInputs,
+		InputWeights: weights,
+		InputQuanta:  p.quantaFor(hwInCols),
+		OutputBounds: []float64{
+			fracToNorm(0.2), fracToNorm(0.1), fracToNorm(0.1), fracToNorm(0.1),
+			fracToNorm(0.2), fracToNorm(0.2), fracToNorm(0.2),
+		},
+		Uncertainty: 0.4,
+	})
+}
+
+// SynthesizeDecoupledLQG builds the two independent LQG controllers (no
+// external signals) of the Decoupled HW LQG + OS LQG scheme.
+func (p *Platform) SynthesizeDecoupledLQG() (hw, os *robust.Controller, err error) {
+	hw, err = robust.SynthesizeLQG(&robust.Spec{
+		Plant:        p.HWOnly,
+		NumControls:  4,
+		InputWeights: []float64{1, 1, 1, 1},
+		InputQuanta:  p.quantaFor(hwOnlyInCols),
+		OutputBounds: []float64{
+			fracToNorm(0.2), fracToNorm(0.1), fracToNorm(0.1), fracToNorm(0.1),
+		},
+		Uncertainty: 0.4,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: decoupled HW LQG: %w", err)
+	}
+	os, err = robust.SynthesizeLQG(&robust.Spec{
+		Plant:        p.OSOnly,
+		NumControls:  3,
+		InputWeights: []float64{2, 2, 2},
+		InputQuanta:  p.quantaFor(osOnlyInCols),
+		OutputBounds: []float64{fracToNorm(0.2), fracToNorm(0.2), fracToNorm(0.2)},
+		Uncertainty:  0.5,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: decoupled OS LQG: %w", err)
+	}
+	return hw, os, nil
+}
+
+// NewDecoupledHWLQGRuntime wires the decoupled hardware LQG controller (no
+// external signals) to the board signals — exposed for the §VI-B
+// convergence experiment.
+func (p *Platform) NewDecoupledHWLQGRuntime(ctl *robust.Controller) (*lqgctl.Runtime, error) {
+	return p.newLQGRuntime(ctl, hwOnlyInCols, hwOutCols)
+}
+
+// newLQGRuntime wires an LQG controller to board signals given its column
+// sets.
+func (p *Platform) newLQGRuntime(ctl *robust.Controller, inCols, outCols []int) (*lqgctl.Runtime, error) {
+	nu := ctl.NumCtrl
+	return lqgctl.New(lqgctl.Config{
+		Controller:     ctl,
+		OutputScales:   scalesFor(p.Data.OutScales, outCols),
+		ExternalScales: scalesFor(inputScales(p.Cfg), inCols[nu:]),
+		InputScales:    scalesFor(inputScales(p.Cfg), inCols[:nu]),
+		InputLevels:    levelsFor(inputLevels(p.Cfg), inCols[:nu]),
+	})
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"yukta/internal/board"
+)
+
+var (
+	platOnce sync.Once
+	plat     *Platform
+	platErr  error
+)
+
+// testPlatform builds the shared Platform (identification is deterministic,
+// so all tests can reuse it).
+func testPlatform(t *testing.T) *Platform {
+	t.Helper()
+	platOnce.Do(func() {
+		plat, platErr = NewPlatform(board.DefaultConfig(), DefaultIdentifyOptions())
+	})
+	if platErr != nil {
+		t.Fatal(platErr)
+	}
+	return plat
+}
+
+func TestCollectTrainingData(t *testing.T) {
+	p := testPlatform(t)
+	if len(p.Data.U) < 1000 {
+		t.Fatalf("only %d training samples", len(p.Data.U))
+	}
+	// Output scalings must be sane: BIPS range positive, temp above ambient.
+	bips := p.Data.OutScales[outBIPS]
+	if bips.Max <= bips.Min || bips.Max < 5 {
+		t.Fatalf("BIPS scale %+v implausible", bips)
+	}
+	temp := p.Data.OutScales[outTemp]
+	if temp.Min < 30 || temp.Max > 120 {
+		t.Fatalf("temperature scale %+v implausible", temp)
+	}
+}
+
+func TestIdentifiedModelsStableAndSized(t *testing.T) {
+	p := testPlatform(t)
+	cases := []struct {
+		name          string
+		in, out, omax int
+	}{
+		{"HW", 7, 4, 16},
+		{"OS", 7, 3, 12},
+		{"HWOnly", 4, 4, 16},
+		{"OSOnly", 3, 3, 12},
+	}
+	models := []interface {
+		Inputs() int
+		Outputs() int
+		Order() int
+		IsStable() bool
+	}{p.HW, p.OS, p.HWOnly, p.OSOnly}
+	for i, c := range cases {
+		m := models[i]
+		if m.Inputs() != c.in || m.Outputs() != c.out {
+			t.Fatalf("%s model shape %dx%d, want %dx%d", c.name, m.Outputs(), m.Inputs(), c.out, c.in)
+		}
+		if m.Order() > c.omax {
+			t.Fatalf("%s model order %d exceeds %d", c.name, m.Order(), c.omax)
+		}
+		if !m.IsStable() {
+			t.Fatalf("%s model unstable", c.name)
+		}
+	}
+}
+
+func TestHWModelPredictsFrequencyEffect(t *testing.T) {
+	// The identified model must capture first-order physics: raising the big
+	// frequency raises performance and big power at steady state.
+	p := testPlatform(t)
+	dc, err := p.HW.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column inFreqBig (=2): effect on BIPS (row 0) and PowerBig (row 1).
+	if dc.At(0, 2) <= 0 {
+		t.Fatalf("model says more big frequency lowers performance: %v", dc.At(0, 2))
+	}
+	if dc.At(1, 2) <= 0 {
+		t.Fatalf("model says more big frequency lowers big power: %v", dc.At(1, 2))
+	}
+}
+
+func TestHWSSVSynthesisMeetsPaperShape(t *testing.T) {
+	p := testPlatform(t)
+	ctl, err := p.SynthesizeHWSSV(DefaultHWParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §VI-D: N=20 (model 16 + 4 integrators), I=4, O=4, E=3.
+	if ctl.Report.StateDim != p.HW.Order()+4 {
+		t.Fatalf("controller N=%d, want %d", ctl.Report.StateDim, p.HW.Order()+4)
+	}
+	if ctl.NumCtrl != 4 || ctl.NumOut != 4 || ctl.NumExt != 3 {
+		t.Fatalf("controller I/O/E = %d/%d/%d, want 4/4/3", ctl.NumCtrl, ctl.NumOut, ctl.NumExt)
+	}
+	t.Logf("HW SSV: SSV=%.3f rho=%v iters=%d", ctl.Report.SSV, ctl.Report.ControlPenalty, ctl.Report.Iterations)
+}
+
+func TestOSSSVSynthesis(t *testing.T) {
+	p := testPlatform(t)
+	ctl, err := p.SynthesizeOSSSV(DefaultOSParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.NumCtrl != 3 || ctl.NumOut != 3 || ctl.NumExt != 4 {
+		t.Fatalf("controller I/O/E = %d/%d/%d, want 3/3/4", ctl.NumCtrl, ctl.NumOut, ctl.NumExt)
+	}
+	t.Logf("OS SSV: SSV=%.3f rho=%v", ctl.Report.SSV, ctl.Report.ControlPenalty)
+}
+
+func TestLQGSyntheses(t *testing.T) {
+	p := testPlatform(t)
+	if _, err := p.SynthesizeMonolithicLQG(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.SynthesizeDecoupledLQG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectHWOrder(t *testing.T) {
+	p := testPlatform(t)
+	scores, best, err := p.SelectHWOrder(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) < 3 {
+		t.Fatalf("only %d candidate orders fit", len(scores))
+	}
+	if best.NA < 1 || best.NA > 5 {
+		t.Fatalf("selected order %d out of range", best.NA)
+	}
+	// The board has real dynamics (thermal memory): order >= 2 should beat
+	// order 1 on held-out prediction.
+	var r1, rBest float64
+	for _, s := range scores {
+		if s.Orders.NA == 1 {
+			r1 = s.ValRMSE
+		}
+		if s.Orders == best {
+			rBest = s.ValRMSE
+		}
+	}
+	if best.NA > 1 && rBest >= r1 {
+		t.Fatalf("selected order %d RMSE %v not better than order 1 %v", best.NA, rBest, r1)
+	}
+	t.Logf("selected order %d (paper uses 4); scores=%+v", best.NA, scores)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"yukta/internal/board"
+	"yukta/internal/series"
+	"yukta/internal/workload"
+)
+
+// RunResult records one workload execution under one scheme.
+type RunResult struct {
+	App    string
+	Scheme string
+
+	// TimeS is the completion time (delay D) in seconds; EnergyJ the energy
+	// E in joules; ExD their product in J·s.
+	TimeS   float64
+	EnergyJ float64
+	ExD     float64
+
+	Completed       bool
+	EmergencyEvents int
+
+	// Traces of the signals plotted in the paper's time-series figures.
+	BigPower    *series.Series // Figure 10 / 17
+	LittlePower *series.Series
+	Perf        *series.Series // Figure 11 / 15(a)
+	Temp        *series.Series
+	BigFreq     *series.Series
+}
+
+// RunOptions bounds a run.
+type RunOptions struct {
+	// MaxTime aborts runs that fail to complete (a misbehaving controller
+	// must not hang an experiment). Default 1200 s.
+	MaxTime time.Duration
+	// Interval is the control interval. Default 500 ms (§V-A).
+	Interval time.Duration
+}
+
+// Run executes the workload to completion (or MaxTime) under the scheme on a
+// fresh board and returns the measured result.
+func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*RunResult, error) {
+	if opt.MaxTime <= 0 {
+		opt.MaxTime = 1200 * time.Second
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = 500 * time.Millisecond
+	}
+	sess, err := sch.New()
+	if err != nil {
+		return nil, fmt.Errorf("core: building scheme %q: %w", sch.Name, err)
+	}
+	w.Reset()
+	b := board.New(cfg)
+
+	res := &RunResult{
+		App:         w.Name(),
+		Scheme:      sch.Name,
+		BigPower:    series.New("big_power_w"),
+		LittlePower: series.New("little_power_w"),
+		Perf:        series.New("bips"),
+		Temp:        series.New("temp_c"),
+		BigFreq:     series.New("big_freq_ghz"),
+	}
+	maxSteps := int(opt.MaxTime / opt.Interval)
+	var sensors board.Sensors
+	for i := 0; i < maxSteps && !w.Done(); i++ {
+		sensors = b.Run(w, opt.Interval)
+		sess.Step(sensors, b, w.Profile().Threads)
+		res.BigPower.Add(sensors.TimeS, sensors.BigPowerW)
+		res.LittlePower.Add(sensors.TimeS, sensors.LittlePowerW)
+		res.Perf.Add(sensors.TimeS, sensors.BIPS)
+		res.Temp.Add(sensors.TimeS, sensors.TempC)
+		res.BigFreq.Add(sensors.TimeS, b.EffectiveBigFreq())
+	}
+	res.Completed = w.Done()
+	res.TimeS = b.TimeS()
+	res.EnergyJ = b.EnergyJ()
+	res.ExD = res.EnergyJ * res.TimeS
+	res.EmergencyEvents = sensors.EmergencyEvents
+	return res, nil
+}
+
+// FixedTargetSession drives the SSV layers with constant output targets
+// instead of optimizers — the §VI-E1 experiment ("we set fixed targets for
+// each of the outputs") and the §VI-E3 power-tracking experiment.
+type FixedTargetSession struct {
+	HW        Session
+	OS        Session // optional
+	hwTargets []float64
+}
+
+// Step implements Session.
+func (f *FixedTargetSession) Step(s board.Sensors, b *board.Board, threads int) {
+	f.HW.Step(s, b, threads)
+	if f.OS != nil {
+		f.OS.Step(s, b, threads)
+	}
+}
+
+// NewFixedHWSession builds an SSV hardware session that tracks the given
+// fixed targets [Perf, Power_big, Power_little, Temp].
+func (p *Platform) NewFixedHWSession(hp HWParams, targets []float64) (Session, error) {
+	ctl, err := p.SynthesizeHWSSV(hp)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := p.NewHWRuntime(ctl)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.SetTargets(targets); err != nil {
+		return nil, err
+	}
+	return &fixedHWSession{rt: rt}, nil
+}
+
+type fixedHWSession struct {
+	rt interface {
+		Step(meas, ext, applied []float64) ([]float64, error)
+	}
+}
+
+func (f *fixedHWSession) Step(s board.Sensors, b *board.Board, threads int) {
+	p := b.Placement()
+	meas := []float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC}
+	ext := []float64{float64(p.ThreadsBig), p.ThreadsPerBigCore, p.ThreadsPerLittleCore}
+	applied := []float64{float64(b.BigCores()), float64(b.LittleCores()),
+		b.EffectiveBigFreq(), b.EffectiveLittleFreq()}
+	if u, err := f.rt.Step(meas, ext, applied); err == nil {
+		applyHW(b, u)
+	}
+}
+
+// NewFixedOSSession builds an SSV software session tracking fixed targets
+// [Perf_little, Perf_big, ΔSC].
+func (p *Platform) NewFixedOSSession(op OSParams, targets []float64) (Session, error) {
+	ctl, err := p.SynthesizeOSSSV(op)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := p.NewOSRuntime(ctl)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.SetTargets(targets); err != nil {
+		return nil, err
+	}
+	return &fixedOSSession{rt: rt}, nil
+}
+
+type fixedOSSession struct {
+	rt interface {
+		Step(meas, ext, applied []float64) ([]float64, error)
+	}
+}
+
+func (f *fixedOSSession) Step(s board.Sensors, b *board.Board, threads int) {
+	meas := []float64{s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
+	ext := []float64{float64(b.BigCores()), float64(b.LittleCores()), b.BigFreq(), b.LittleFreq()}
+	pl := b.Placement()
+	applied := []float64{float64(pl.ThreadsBig), pl.ThreadsPerBigCore, pl.ThreadsPerLittleCore}
+	if u, err := f.rt.Step(meas, ext, applied); err == nil {
+		applyOS(b, u, threads)
+	}
+}

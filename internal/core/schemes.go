@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+	"yukta/internal/board"
+	"yukta/internal/heuristic"
+	"yukta/internal/lqgctl"
+	"yukta/internal/optimizer"
+	"yukta/internal/ssvctl"
+)
+
+// Session is one run's controller stack: it is invoked once per control
+// interval (500 ms, §V-A) with the current sensor view and the number of
+// runnable application threads, and actuates on the board.
+type Session interface {
+	Step(s board.Sensors, b *board.Board, threads int)
+}
+
+// Scheme names a controller stack and knows how to build a fresh Session
+// (controllers are stateful, so every run needs its own).
+type Scheme struct {
+	Name string
+	New  func() (Session, error)
+}
+
+// Scheme names, matching the paper's Table IV and §VI-B.
+const (
+	NameCoordHeur  = "Coordinated heuristic"
+	NameDecoupHeur = "Decoupled heuristic"
+	NameYuktaHW    = "Yukta: HW SSV+OS heuristic"
+	NameYuktaFull  = "Yukta: HW SSV+OS SSV"
+	NameDecoupLQG  = "Decoupled HW LQG+OS LQG"
+	NameMonoLQG    = "Monolithic LQG"
+)
+
+// exdProxy returns the instantaneous E×D rate (total power over squared
+// performance — E×D is proportional to Power/Perf², §IV-D).
+func exdProxy(s board.Sensors, base float64) float64 {
+	perf := s.BIPS
+	if perf < 0.3 {
+		perf = 0.3
+	}
+	return (s.BigPowerW + s.LittlePowerW + base) / (perf * perf)
+}
+
+// ---- Heuristic schemes -------------------------------------------------
+
+type heurSession struct {
+	hw interface {
+		Step(board.Sensors, *board.Board)
+	}
+	os interface {
+		Step(board.Sensors, *board.Board, int)
+	}
+}
+
+func (h *heurSession) Step(s board.Sensors, b *board.Board, threads int) {
+	h.hw.Step(s, b)
+	h.os.Step(s, b, threads)
+}
+
+// CoordinatedHeuristic is the paper's baseline scheme (Table IV a).
+func (p *Platform) CoordinatedHeuristic() Scheme {
+	return Scheme{Name: NameCoordHeur, New: func() (Session, error) {
+		return &heurSession{
+			hw: &heuristic.CoordinatedHW{Lim: p.Lim},
+			os: &heuristic.CoordinatedOS{},
+		}, nil
+	}}
+}
+
+// DecoupledHeuristic is Table IV (b).
+func (p *Platform) DecoupledHeuristic() Scheme {
+	return Scheme{Name: NameDecoupHeur, New: func() (Session, error) {
+		return &heurSession{
+			hw: &heuristic.DecoupledHW{Lim: p.Lim},
+			os: heuristic.DecoupledOS{},
+		}, nil
+	}}
+}
+
+// ---- SSV hardware layer -------------------------------------------------
+
+// hwOptimizer builds the §IV-D optimizer for the hardware controller's
+// targets [Perf, Power_big, Power_little]; the temperature target is held at
+// a fixed safe value.
+func (p *Platform) hwOptimizer() (*optimizer.Optimizer, error) {
+	perfHi := p.Data.OutScales[outBIPS].Max * 0.9
+	return optimizer.New(optimizer.Config{
+		Initial:         []float64{7, 2.9, 0.25},
+		UpStep:          []float64{0.7, 0.06, 0.008},
+		DownStep:        []float64{0.25, 0.15, 0.02},
+		Lo:              []float64{0.5, 0.5, 0.05},
+		Hi:              []float64{perfHi, p.Lim.BigPowerW * 0.95, p.Lim.LittlePowerW * 0.92},
+		SettleIntervals: 5,
+		Smoothing:       0.7,
+	})
+}
+
+const tempTargetC = 77 // fixed temperature target: bound ±3-4 °C keeps T below the 79 °C limit
+
+type hwSSVSession struct {
+	rt      *ssvctl.Runtime
+	opt     *optimizer.Optimizer
+	base    float64
+	perfEMA float64
+
+	// Ablation switches (normal operation leaves both false).
+	noExternals    bool // feed zeros instead of the OS layer's signals
+	noConditioning bool // do not feed the applied command back
+}
+
+func (h *hwSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
+	tg := h.opt.Update(exdProxy(s, h.base))
+	// Reference governor: the optimizer raises the performance target from
+	// the *measured* performance (§IV-D "keeps increasing Perf_0"), so the
+	// reference never runs far ahead of what the plant is delivering — a
+	// huge standing error would distort the controller's multi-output
+	// compromise and violate the synthesis' TargetScale assumption.
+	if h.perfEMA == 0 {
+		h.perfEMA = s.BIPS
+	}
+	h.perfEMA = 0.7*h.perfEMA + 0.3*s.BIPS
+	perfT := tg[0]
+	if cap := h.perfEMA + 3.0; perfT > cap {
+		perfT = cap
+	}
+	if err := h.rt.SetTargets([]float64{perfT, tg[1], tg[2], tempTargetC}); err != nil {
+		return
+	}
+	p := b.Placement()
+	meas := []float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC}
+	ext := []float64{float64(p.ThreadsBig), p.ThreadsPerBigCore, p.ThreadsPerLittleCore}
+	if h.noExternals {
+		ext = []float64{0, 1, 1} // pretend nothing is known about the OS layer
+	}
+	// What the hardware actually ran at during the measured interval,
+	// including firmware throttle caps.
+	applied := []float64{float64(b.BigCores()), float64(b.LittleCores()),
+		b.EffectiveBigFreq(), b.EffectiveLittleFreq()}
+	if h.noConditioning {
+		applied = nil
+	}
+	u, err := h.rt.Step(meas, ext, applied)
+	if err != nil {
+		return
+	}
+	applyHW(b, u)
+}
+
+// newHWSSVSession assembles the SSV hardware layer from a synthesized
+// controller.
+func (p *Platform) newHWSSVSession(hp HWParams) (*hwSSVSession, error) {
+	ctl, err := p.HWControllerValidated(hp)
+	if err != nil {
+		return nil, fmt.Errorf("core: HW SSV synthesis: %w", err)
+	}
+	rt, err := p.NewHWRuntime(ctl)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := p.hwOptimizer()
+	if err != nil {
+		return nil, err
+	}
+	return &hwSSVSession{rt: rt, opt: opt, base: p.Cfg.BasePowerW}, nil
+}
+
+// YuktaHWSSVOSHeuristic is Table IV (c): SSV hardware controller plus the
+// coordinated heuristic OS controller.
+func (p *Platform) YuktaHWSSVOSHeuristic(hp HWParams) Scheme {
+	return Scheme{Name: NameYuktaHW, New: func() (Session, error) {
+		hw, err := p.newHWSSVSession(hp)
+		if err != nil {
+			return nil, err
+		}
+		return &splitSession{
+			hw: hw,
+			os: &heurOSAdapter{os: &heuristic.CoordinatedOS{}},
+		}, nil
+	}}
+}
+
+// ---- SSV software layer -------------------------------------------------
+
+// osOptimizer builds the optimizer for the software controller's targets
+// [Perf_little, Perf_big, ΔSC]. In the performance-seeking direction the
+// ΔSC target moves toward zero/negative (spread threads over the on cores);
+// in the power-saving direction it rises (pack threads on the big cluster so
+// the HW layer can gate cores). The OS optimizer deliberately runs at a
+// slower cadence than the HW optimizer so the two searches do not chase each
+// other's transients (§III-D).
+func (p *Platform) osOptimizer() (*optimizer.Optimizer, error) {
+	hiL := p.Data.OutScales[outBIPSLittle].Max
+	hiB := p.Data.OutScales[outBIPSBig].Max
+	return optimizer.New(optimizer.Config{
+		Initial:         []float64{1.5, 6.5, -1},
+		UpStep:          []float64{0.1, 0.4, -0.15},
+		DownStep:        []float64{0.04, 0.15, -0.15},
+		Lo:              []float64{0, 0.2, -3},
+		Hi:              []float64{hiL, hiB * 0.95, 3},
+		SettleIntervals: 9,
+		Smoothing:       0.7,
+	})
+}
+
+type osSSVSession struct {
+	rt     *ssvctl.Runtime
+	opt    *optimizer.Optimizer
+	base   float64
+	emaL   float64
+	emaB   float64
+	inited bool
+
+	noExternals    bool
+	noConditioning bool
+}
+
+func (o *osSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
+	tg := o.opt.Update(exdProxy(s, o.base))
+	// Reference governor, as in the hardware layer: cluster performance
+	// targets track measured values instead of running open-loop ahead.
+	if !o.inited {
+		o.emaL, o.emaB = s.BIPSLittle, s.BIPSBig
+		o.inited = true
+	}
+	o.emaL = 0.7*o.emaL + 0.3*s.BIPSLittle
+	o.emaB = 0.7*o.emaB + 0.3*s.BIPSBig
+	if cap := o.emaL + 1.0; tg[0] > cap {
+		tg[0] = cap
+	}
+	if cap := o.emaB + 2.5; tg[1] > cap {
+		tg[1] = cap
+	}
+	if err := o.rt.SetTargets(tg); err != nil {
+		return
+	}
+	meas := []float64{s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
+	ext := []float64{float64(b.BigCores()), float64(b.LittleCores()), b.BigFreq(), b.LittleFreq()}
+	if o.noExternals {
+		ext = []float64{2.5, 2.5, 1.1, 0.8} // mid-range guesses, no coordination
+	}
+	pl := b.Placement()
+	applied := []float64{float64(pl.ThreadsBig), pl.ThreadsPerBigCore, pl.ThreadsPerLittleCore}
+	if o.noConditioning {
+		applied = nil
+	}
+	u, err := o.rt.Step(meas, ext, applied)
+	if err != nil {
+		return
+	}
+	applyOS(b, u, threads)
+}
+
+// YuktaFullSSV is Table IV (d): SSV controllers in both layers, each taking
+// the other's actuations as external signals.
+func (p *Platform) YuktaFullSSV(hp HWParams, op OSParams) Scheme {
+	return Scheme{Name: NameYuktaFull, New: func() (Session, error) {
+		hw, err := p.newHWSSVSession(hp)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := p.OSControllerValidated(op)
+		if err != nil {
+			return nil, fmt.Errorf("core: OS SSV synthesis: %w", err)
+		}
+		rt, err := p.NewOSRuntime(ctl)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := p.osOptimizer()
+		if err != nil {
+			return nil, err
+		}
+		return &splitSession{
+			hw: hw,
+			os: &osSSVSession{rt: rt, opt: opt, base: p.Cfg.BasePowerW},
+		}, nil
+	}}
+}
+
+// YuktaFullAblated builds the full SSV scheme with ablation switches: with
+// noExternals the controllers receive placeholder external signals (the
+// "Decoupled SSV" the paper argues against in §III-A); with noConditioning
+// the runtimes do not feed the applied actuator state back to their
+// estimators. Both default-false switches reproduce YuktaFullSSV.
+func (p *Platform) YuktaFullAblated(name string, noExternals, noConditioning bool) Scheme {
+	return Scheme{Name: name, New: func() (Session, error) {
+		hw, err := p.newHWSSVSession(DefaultHWParams())
+		if err != nil {
+			return nil, err
+		}
+		hw.noExternals = noExternals
+		hw.noConditioning = noConditioning
+		ctl, err := p.OSControllerValidated(DefaultOSParams())
+		if err != nil {
+			return nil, err
+		}
+		rt, err := p.NewOSRuntime(ctl)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := p.osOptimizer()
+		if err != nil {
+			return nil, err
+		}
+		os := &osSSVSession{rt: rt, opt: opt, base: p.Cfg.BasePowerW,
+			noExternals: noExternals, noConditioning: noConditioning}
+		return &splitSession{hw: hw, os: os}, nil
+	}}
+}
+
+// splitSession runs a hardware sub-session then a software sub-session.
+type splitSession struct {
+	hw, os Session
+}
+
+func (sp *splitSession) Step(s board.Sensors, b *board.Board, threads int) {
+	sp.hw.Step(s, b, threads)
+	sp.os.Step(s, b, threads)
+}
+
+// heurOSAdapter adapts a heuristic OS controller to the Session interface.
+type heurOSAdapter struct {
+	os interface {
+		Step(board.Sensors, *board.Board, int)
+	}
+}
+
+func (h *heurOSAdapter) Step(s board.Sensors, b *board.Board, threads int) {
+	h.os.Step(s, b, threads)
+}
+
+// ---- LQG schemes ---------------------------------------------------------
+
+type monoLQGSession struct {
+	rt    *lqgctl.Runtime
+	opt   *optimizer.Optimizer
+	osOpt *optimizer.Optimizer
+	base  float64
+}
+
+func (m *monoLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
+	exd := exdProxy(s, m.base)
+	tg := m.opt.Update(exd)
+	og := m.osOpt.Update(exd)
+	if err := m.rt.SetTargets([]float64{tg[0], tg[1], tg[2], tempTargetC, og[0], og[1], og[2]}); err != nil {
+		return
+	}
+	meas := []float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC,
+		s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
+	u, err := m.rt.Step(meas, nil)
+	if err != nil {
+		return
+	}
+	applyHW(b, u[:4])
+	applyOS(b, u[4:], threads)
+}
+
+// MonolithicLQG is the single-controller LQG scheme of §VI-B.
+func (p *Platform) MonolithicLQG() Scheme {
+	return Scheme{Name: NameMonoLQG, New: func() (Session, error) {
+		ctl, err := p.SynthesizeMonolithicLQG()
+		if err != nil {
+			return nil, fmt.Errorf("core: monolithic LQG synthesis: %w", err)
+		}
+		rt, err := p.newLQGRuntime(ctl, hwInCols, monoOutCols)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := p.hwOptimizer()
+		if err != nil {
+			return nil, err
+		}
+		osOpt, err := p.osOptimizer()
+		if err != nil {
+			return nil, err
+		}
+		return &monoLQGSession{rt: rt, opt: opt, osOpt: osOpt, base: p.Cfg.BasePowerW}, nil
+	}}
+}
+
+type decoupLQGSession struct {
+	hw, os *lqgctl.Runtime
+	hwOpt  *optimizer.Optimizer
+	osOpt  *optimizer.Optimizer
+	base   float64
+}
+
+func (d *decoupLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
+	exd := exdProxy(s, d.base)
+	tg := d.hwOpt.Update(exd)
+	if err := d.hw.SetTargets([]float64{tg[0], tg[1], tg[2], tempTargetC}); err != nil {
+		return
+	}
+	meas := []float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC}
+	if u, err := d.hw.Step(meas, nil); err == nil {
+		applyHW(b, u)
+	}
+	og := d.osOpt.Update(exd)
+	if err := d.os.SetTargets(og); err != nil {
+		return
+	}
+	osMeas := []float64{s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
+	if u, err := d.os.Step(osMeas, nil); err == nil {
+		applyOS(b, u, threads)
+	}
+}
+
+// DecoupledLQG is the two-independent-LQG scheme of §VI-B.
+func (p *Platform) DecoupledLQG() Scheme {
+	return Scheme{Name: NameDecoupLQG, New: func() (Session, error) {
+		hwCtl, osCtl, err := p.SynthesizeDecoupledLQG()
+		if err != nil {
+			return nil, err
+		}
+		hwRT, err := p.newLQGRuntime(hwCtl, hwOnlyInCols, hwOutCols)
+		if err != nil {
+			return nil, err
+		}
+		osRT, err := p.newLQGRuntime(osCtl, osOnlyInCols, osOutCols)
+		if err != nil {
+			return nil, err
+		}
+		hwOpt, err := p.hwOptimizer()
+		if err != nil {
+			return nil, err
+		}
+		osOpt, err := p.osOptimizer()
+		if err != nil {
+			return nil, err
+		}
+		return &decoupLQGSession{hw: hwRT, os: osRT, hwOpt: hwOpt, osOpt: osOpt, base: p.Cfg.BasePowerW}, nil
+	}}
+}

@@ -1,0 +1,169 @@
+// Package core wires the generic control machinery (sysid, robust, ssvctl,
+// lqgctl, heuristic, optimizer) to the simulated ODROID XU3 board. It
+// defines the two layers' signal sets (paper Tables II and III), runs the
+// black-box system identification of §IV-C on the training applications,
+// synthesizes the SSV and LQG controllers, assembles the schemes of Table IV
+// plus the LQG comparison schemes of §VI-B, and provides the runner that
+// executes a workload under a scheme and measures E×D.
+//
+// Coordination between layers happens exactly as in the paper's Figure 4:
+// each controller reads, as external signals, the signals the other layer
+// actuates on. In this implementation those signals live in the board's
+// actuator state (cores, frequencies, thread placement), which both layers
+// can observe but only one layer may set.
+package core
+
+import (
+	"math"
+
+	"yukta/internal/board"
+	"yukta/internal/ssvctl"
+	"yukta/internal/sysid"
+)
+
+// Signal column order, shared by identification and runtime.
+//
+// Inputs (all seven actuators, HW layer first):
+//
+//	0 #big cores   1 #little cores   2 freq_big   3 freq_little
+//	4 #threads_big 5 threads/busy big core 6 threads/busy little core
+//
+// Outputs:
+//
+//	0 BIPS (total) 1 Power_big 2 Power_little 3 Temp
+//	4 BIPS_little  5 BIPS_big  6 ΔSpareCompute(big-little)
+const (
+	inBigCores = iota
+	inLittleCores
+	inFreqBig
+	inFreqLittle
+	inThreadsBig
+	inTPB
+	inTPL
+	numInputs
+)
+
+const (
+	outBIPS = iota
+	outPowerBig
+	outPowerLittle
+	outTemp
+	outBIPSLittle
+	outBIPSBig
+	outDeltaSC
+	numOutputs
+)
+
+// inputScales returns the physical ranges of the seven actuators.
+func inputScales(cfg board.Config) []sysid.Scaling {
+	return []sysid.Scaling{
+		inBigCores:    {Min: 1, Max: float64(cfg.Big.MaxCores)},
+		inLittleCores: {Min: 1, Max: float64(cfg.Little.MaxCores)},
+		inFreqBig:     {Min: cfg.Big.FreqMinGHz, Max: cfg.Big.FreqMaxGHz},
+		inFreqLittle:  {Min: cfg.Little.FreqMinGHz, Max: cfg.Little.FreqMaxGHz},
+		inThreadsBig:  {Min: 0, Max: 8},
+		inTPB:         {Min: 1, Max: 4},
+		inTPL:         {Min: 1, Max: 4},
+	}
+}
+
+// inputLevels returns the allowed discrete values of each actuator
+// (saturation and quantization, paper §IV-A: cores 1-4, big frequency
+// 0.2-2.0 GHz and little 0.2-1.4 GHz in 0.1 steps).
+func inputLevels(cfg board.Config) [][]float64 {
+	return [][]float64{
+		inBigCores:    ssvctl.Levels(1, float64(cfg.Big.MaxCores), 1),
+		inLittleCores: ssvctl.Levels(1, float64(cfg.Little.MaxCores), 1),
+		inFreqBig:     ssvctl.Levels(cfg.Big.FreqMinGHz, cfg.Big.FreqMaxGHz, cfg.Big.FreqStepGHz),
+		inFreqLittle:  ssvctl.Levels(cfg.Little.FreqMinGHz, cfg.Little.FreqMaxGHz, cfg.Little.FreqStepGHz),
+		inThreadsBig:  ssvctl.Levels(0, 8, 1),
+		inTPB:         ssvctl.Levels(1, 4, 0.5),
+		inTPL:         ssvctl.Levels(1, 4, 0.5),
+	}
+}
+
+// spareCompute returns a cluster's Spare Compute capacity per the paper's
+// equation (2): SC = #idle_cores_on − (#threads − #cores_on).
+func spareCompute(coresOn, threads int, perCore float64) float64 {
+	if perCore < 1 {
+		perCore = 1
+	}
+	busy := 0
+	if threads > 0 {
+		busy = int(math.Ceil(float64(threads) / perCore))
+		if busy > coresOn {
+			busy = coresOn
+		}
+	}
+	idleOn := coresOn - busy
+	return float64(idleOn) - float64(threads-coresOn)
+}
+
+// deltaSpareCompute returns SC_big − SC_little for the current board state
+// and runnable thread count.
+func deltaSpareCompute(b *board.Board, threads int) float64 {
+	p := b.Placement()
+	tb := p.ThreadsBig
+	if tb > threads {
+		tb = threads
+	}
+	tl := threads - tb
+	scb := spareCompute(b.BigCores(), tb, p.ThreadsPerBigCore)
+	scl := spareCompute(b.LittleCores(), tl, p.ThreadsPerLittleCore)
+	return scb - scl
+}
+
+// inputVector reads the seven actuator values from the board. Frequencies
+// are the effective (post-firmware-cap) values — on the real board this is
+// what cpufreq's scaling_cur_freq reports, and logging the commanded value
+// instead would poison the identification whenever the TMU throttles.
+func inputVector(b *board.Board) []float64 {
+	p := b.Placement()
+	return []float64{
+		inBigCores:    float64(b.BigCores()),
+		inLittleCores: float64(b.LittleCores()),
+		inFreqBig:     b.EffectiveBigFreq(),
+		inFreqLittle:  b.EffectiveLittleFreq(),
+		inThreadsBig:  float64(p.ThreadsBig),
+		inTPB:         p.ThreadsPerBigCore,
+		inTPL:         p.ThreadsPerLittleCore,
+	}
+}
+
+// outputVector reads the seven observed signals from sensors and board.
+func outputVector(s board.Sensors, b *board.Board, threads int) []float64 {
+	return []float64{
+		outBIPS:        s.BIPS,
+		outPowerBig:    s.BigPowerW,
+		outPowerLittle: s.LittlePowerW,
+		outTemp:        s.TempC,
+		outBIPSLittle:  s.BIPSLittle,
+		outBIPSBig:     s.BIPSBig,
+		outDeltaSC:     deltaSpareCompute(b, threads),
+	}
+}
+
+// applyHW actuates the four hardware inputs.
+func applyHW(b *board.Board, u []float64) {
+	b.SetBigCores(int(math.Round(u[0])))
+	b.SetLittleCores(int(math.Round(u[1])))
+	b.SetBigFreq(u[2])
+	b.SetLittleFreq(u[3])
+}
+
+// applyOS actuates the three scheduling inputs given the runnable threads.
+func applyOS(b *board.Board, u []float64, threads int) {
+	tb := int(math.Round(u[0]))
+	if tb > threads {
+		tb = threads
+	}
+	if tb < 0 {
+		tb = 0
+	}
+	b.Place(board.Placement{
+		ThreadsBig:           tb,
+		ThreadsLittle:        threads - tb,
+		ThreadsPerBigCore:    u[1],
+		ThreadsPerLittleCore: u[2],
+	})
+}

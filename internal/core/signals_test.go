@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"yukta/internal/board"
+)
+
+func TestSpareComputeEquation(t *testing.T) {
+	// Paper equation (2): SC = #idle_cores_on − (#threads − #cores_on).
+	cases := []struct {
+		coresOn, threads int
+		perCore          float64
+		want             float64
+	}{
+		// 4 cores on, 4 threads spread 1/core: no idle, no overflow → 0.
+		{4, 4, 1, 0},
+		// 4 cores on, 4 threads packed 2/core: 2 idle cores on → +2.
+		{4, 4, 2, 2},
+		// 2 cores on, 6 threads: busy 2, idle 0, overflow 4 → -4.
+		{2, 6, 1, -4},
+		// 4 cores on, 0 threads: all idle, negative overflow → 4 - (0-4) = 8.
+		{4, 0, 1, 8},
+		// Degenerate packing below 1 clamps to 1.
+		{4, 4, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := spareCompute(c.coresOn, c.threads, c.perCore); got != c.want {
+			t.Errorf("spareCompute(%d,%d,%v) = %v, want %v",
+				c.coresOn, c.threads, c.perCore, got, c.want)
+		}
+	}
+}
+
+func TestDeltaSpareCompute(t *testing.T) {
+	b := board.New(board.DefaultConfig())
+	b.SetBigCores(4)
+	b.SetLittleCores(4)
+	b.Place(board.Placement{ThreadsBig: 4, ThreadsLittle: 4, ThreadsPerBigCore: 2, ThreadsPerLittleCore: 1})
+	// SC_big: busy=2, idle=2, overflow 0 → 2. SC_little: busy=4, idle=0 → 0.
+	if got := deltaSpareCompute(b, 8); got != 2 {
+		t.Fatalf("dSC = %v, want 2", got)
+	}
+	// Fewer runnable threads than placed: tb clamps to the workload's count.
+	// tb=2 packed 2/core: busy 1, idle 3, overflow -2 → SC_big = 5.
+	// tl=0: busy 0, idle 4, overflow -4 → SC_little = 8. dSC = -3.
+	if got := deltaSpareCompute(b, 2); got != -3 {
+		t.Fatalf("dSC at 2 threads = %v, want -3", got)
+	}
+}
+
+func TestApplyHWRoundsAndClamps(t *testing.T) {
+	b := board.New(board.DefaultConfig())
+	applyHW(b, []float64{2.6, 0.4, 1.74, 9.9})
+	if b.BigCores() != 3 {
+		t.Fatalf("bigCores = %d, want round(2.6)=3", b.BigCores())
+	}
+	if b.LittleCores() != 1 {
+		t.Fatalf("littleCores = %d, want clamp to 1", b.LittleCores())
+	}
+	if b.BigFreq() != 1.7 {
+		t.Fatalf("bigFreq = %v, want quantized 1.7", b.BigFreq())
+	}
+	if b.LittleFreq() != 1.4 {
+		t.Fatalf("littleFreq = %v, want clamp to 1.4", b.LittleFreq())
+	}
+}
+
+func TestApplyOSClampsToRunnable(t *testing.T) {
+	b := board.New(board.DefaultConfig())
+	applyOS(b, []float64{7.4, 1.6, 1.0}, 5)
+	p := b.Placement()
+	if p.ThreadsBig != 5 || p.ThreadsLittle != 0 {
+		t.Fatalf("placement %+v, want tb clamped to 5", p)
+	}
+	if p.ThreadsPerBigCore != 1.6 {
+		t.Fatalf("tpb = %v", p.ThreadsPerBigCore)
+	}
+	applyOS(b, []float64{-3, 1, 1}, 5)
+	if b.Placement().ThreadsBig != 0 {
+		t.Fatal("negative threadsBig must clamp to 0")
+	}
+}
+
+func TestInputOutputVectorShapes(t *testing.T) {
+	b := board.New(board.DefaultConfig())
+	u := inputVector(b)
+	if len(u) != numInputs {
+		t.Fatalf("input vector has %d entries, want %d", len(u), numInputs)
+	}
+	s := board.Sensors{BIPS: 5, BigPowerW: 3, LittlePowerW: 0.2, TempC: 60, BIPSBig: 4, BIPSLittle: 1}
+	y := outputVector(s, b, 8)
+	if len(y) != numOutputs {
+		t.Fatalf("output vector has %d entries, want %d", len(y), numOutputs)
+	}
+	if y[outBIPS] != 5 || y[outTemp] != 60 || y[outBIPSBig] != 4 {
+		t.Fatalf("output vector misordered: %v", y)
+	}
+}

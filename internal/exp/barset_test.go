@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"yukta/internal/series"
+)
+
+func TestBarSetNormalizedAndAverages(t *testing.T) {
+	b := &BarSet{
+		Title:   "test",
+		Metric:  "E×D",
+		Apps:    []string{"mcf", "blackscholes"},
+		Schemes: []string{"base", "yukta"},
+		Values: map[string]map[string]float64{
+			"base":  {"mcf": 100, "blackscholes": 200},
+			"yukta": {"mcf": 50, "blackscholes": 150},
+		},
+	}
+	norm := b.Normalized()
+	if norm["base"]["mcf"] != 1 || norm["yukta"]["mcf"] != 0.5 {
+		t.Fatalf("normalized %v", norm)
+	}
+	sav, pav, avg := b.Averages("yukta")
+	// mcf is SPEC, blackscholes is PARSEC.
+	if sav != 0.5 || pav != 0.75 || avg != 0.625 {
+		t.Fatalf("averages %v %v %v", sav, pav, avg)
+	}
+	out := b.Render()
+	if !strings.Contains(out, "0.50") || !strings.Contains(out, "SAv") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestBarSetZeroBaseline(t *testing.T) {
+	b := &BarSet{
+		Apps:    []string{"x"},
+		Schemes: []string{"base", "other"},
+		Values: map[string]map[string]float64{
+			"base":  {"x": 0},
+			"other": {"x": 5},
+		},
+	}
+	norm := b.Normalized()
+	if _, ok := norm["other"]["x"]; ok {
+		t.Fatal("zero baseline must not produce a normalized value")
+	}
+}
+
+func TestTraceSetRenderOrder(t *testing.T) {
+	a := series.New("a")
+	a.Add(0, 1)
+	a.Add(1, 2)
+	b := series.New("b")
+	b.Add(0, 3)
+	tr := &TraceSet{
+		Title:  "ordered traces",
+		Order:  []string{"second", "first"},
+		Series: map[string]*series.Series{"first": a, "second": b},
+	}
+	out := tr.Render()
+	if !strings.Contains(out, "ordered traces") {
+		t.Fatalf("render missing title: %s", out)
+	}
+	if strings.Index(out, "[second]") > strings.Index(out, "[first]") {
+		t.Fatal("explicit order not honoured")
+	}
+	// Unlisted keys are skipped silently; unknown order entries ignored.
+	tr.Order = []string{"first", "ghost"}
+	if out := tr.Render(); strings.Contains(out, "ghost") {
+		t.Fatal("ghost trace rendered")
+	}
+}

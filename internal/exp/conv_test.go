@@ -1,0 +1,29 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConvergenceReport(t *testing.T) {
+	c := testContext(t)
+	cv, err := c.ConvergenceReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §VI-B direction: the SSV controller converges the power step at
+	// least as fast as the detuned LQG, and the Yukta optimizer settles no
+	// slower than the monolithic LQG's.
+	if cv.SSVStepIntervals > cv.LQGStepIntervals {
+		t.Errorf("SSV step %d intervals, LQG %d — SSV should be no slower",
+			cv.SSVStepIntervals, cv.LQGStepIntervals)
+	}
+	if cv.SSVStepIntervals < 1 || cv.SSVStepIntervals > 30 {
+		t.Errorf("SSV step convergence %d intervals implausible", cv.SSVStepIntervals)
+	}
+	out := RenderConvergence(cv)
+	if !strings.Contains(out, "paper: 2 vs 6") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}

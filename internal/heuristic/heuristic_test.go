@@ -1,0 +1,163 @@
+package heuristic
+
+import (
+	"testing"
+	"time"
+
+	"yukta/internal/board"
+	"yukta/internal/series"
+	"yukta/internal/workload"
+)
+
+// runScheme executes an app under the given OS+HW heuristic pair and
+// returns the big-power series and final sensors.
+func runScheme(t *testing.T, hw interface {
+	Step(board.Sensors, *board.Board)
+}, os interface {
+	Step(board.Sensors, *board.Board, int)
+}, appName string, maxSteps int) (*series.Series, board.Sensors, *board.Board) {
+	t.Helper()
+	b := board.New(board.DefaultConfig())
+	w := workload.MustLookup(appName)
+	pow := series.New("bigW")
+	var s board.Sensors
+	for i := 0; i < maxSteps && !w.Done(); i++ {
+		s = b.Run(w, 500*time.Millisecond)
+		hw.Step(s, b)
+		os.Step(s, b, w.Profile().Threads)
+		pow.Add(s.TimeS, s.BigPowerW)
+	}
+	return pow, s, b
+}
+
+func TestCoordinatedKeepsPowerNearLimit(t *testing.T) {
+	pow, s, _ := runScheme(t, &CoordinatedHW{Lim: DefaultLimits()}, &CoordinatedOS{}, "blackscholes", 1200)
+	// Steady-state power should sit near (but mostly under) the 3.3 W limit.
+	mean := pow.MeanAbove(20)
+	if mean < 1.5 || mean > 3.6 {
+		t.Fatalf("steady big power %v W, want near 3.3", mean)
+	}
+	// Transient spikes at phase changes are expected (Fig. 10a shows them),
+	// but sustained violation is not: only a small fraction of samples may
+	// exceed the limit by more than 20%.
+	var high int
+	for _, v := range pow.V {
+		if v > 1.2*DefaultLimits().BigPowerW {
+			high++
+		}
+	}
+	if frac := float64(high) / float64(pow.Len()); frac > 0.08 {
+		t.Fatalf("%.0f%% of samples far above the power limit", frac*100)
+	}
+	_ = s
+}
+
+func TestDecoupledOscillatesMore(t *testing.T) {
+	powC, _, _ := runScheme(t, &CoordinatedHW{Lim: DefaultLimits()}, &CoordinatedOS{}, "blackscholes", 1200)
+	powD, sD, _ := runScheme(t, &DecoupledHW{Lim: DefaultLimits()}, DecoupledOS{}, "blackscholes", 1200)
+	// The decoupled scheme's power sweeps are larger: it races to maximum
+	// and lets the firmware throttle it, so its swings span a wider range
+	// than the coordinated governor's sawtooth around the limit.
+	stC := powC.Summarize()
+	stD := powD.Summarize()
+	if stD.Std <= stC.Std {
+		t.Fatalf("decoupled power std (%v) should exceed coordinated (%v)", stD.Std, stC.Std)
+	}
+	// And it fights the firmware: emergencies fire.
+	if sD.EmergencyEvents == 0 {
+		t.Fatal("decoupled heuristic should trigger firmware emergencies")
+	}
+}
+
+func TestDecoupledSlowerThanCoordinated(t *testing.T) {
+	_, sC, bC := runScheme(t, &CoordinatedHW{Lim: DefaultLimits()}, &CoordinatedOS{}, "blackscholes", 3000)
+	_, sD, bD := runScheme(t, &DecoupledHW{Lim: DefaultLimits()}, DecoupledOS{}, "blackscholes", 3000)
+	if sD.TimeS <= sC.TimeS {
+		t.Fatalf("decoupled (%v s) should be slower than coordinated (%v s)", sD.TimeS, sC.TimeS)
+	}
+	// And less energy-efficient in E×D.
+	exdC := bC.EnergyJ() * sC.TimeS
+	exdD := bD.EnergyJ() * sD.TimeS
+	if exdD <= exdC {
+		t.Fatalf("decoupled E×D (%v) should exceed coordinated (%v)", exdD, exdC)
+	}
+}
+
+func TestCoordinatedOSSplitsByCapacity(t *testing.T) {
+	b := board.New(board.DefaultConfig())
+	osc := &CoordinatedOS{}
+	s := board.Sensors{}
+	osc.Step(s, b, 8)
+	p := b.Placement()
+	// HMP big-first up-migration: all 8 CPU-heavy threads fit within two per
+	// big core, so the big cluster takes everything.
+	if p.ThreadsBig != 8 || p.ThreadsLittle != 0 {
+		t.Fatalf("threadsBig = %d / little %d, want 8/0 (big-first)", p.ThreadsBig, p.ThreadsLittle)
+	}
+	if p.ThreadsPerBigCore != 2 {
+		t.Fatalf("tpb = %v, want 2", p.ThreadsPerBigCore)
+	}
+	// Beyond two per big core the scheduler spills to little.
+	osc.Step(s, b, 10)
+	if p := b.Placement(); p.ThreadsLittle != 2 {
+		t.Fatalf("little overflow = %d, want 2", p.ThreadsLittle)
+	}
+	// Zero threads: placement resets.
+	osc.Step(s, b, 0)
+	if b.Placement().ThreadsBig != 0 {
+		t.Fatal("zero threads must clear placement")
+	}
+}
+
+func TestDecoupledOSRoundRobin(t *testing.T) {
+	b := board.New(board.DefaultConfig())
+	DecoupledOS{}.Step(board.Sensors{}, b, 8)
+	p := b.Placement()
+	// 8 cores, 8 threads: 4 each, one per core.
+	if p.ThreadsBig != 4 {
+		t.Fatalf("threadsBig = %d, want 4", p.ThreadsBig)
+	}
+	if p.ThreadsPerBigCore != 1 || p.ThreadsPerLittleCore != 1 {
+		t.Fatalf("round robin should spread one per core: %+v", p)
+	}
+}
+
+func TestCoordinatedHWShedsIdleCores(t *testing.T) {
+	b := board.New(board.DefaultConfig())
+	// OS placed only 2 threads on big, packed 1/core.
+	b.Place(board.Placement{ThreadsBig: 2, ThreadsPerBigCore: 1, ThreadsPerLittleCore: 1})
+	hw := &CoordinatedHW{Lim: DefaultLimits()}
+	hw.Step(board.Sensors{BigPowerW: 1, LittlePowerW: 0.1, TempC: 50}, b)
+	if b.BigCores() > 2 {
+		t.Fatalf("bigCores = %d after demand of 2 threads", b.BigCores())
+	}
+}
+
+func TestCoordinatedHWBacksOffOnViolation(t *testing.T) {
+	b := board.New(board.DefaultConfig())
+	b.Place(board.Placement{ThreadsBig: 8, ThreadsPerBigCore: 2, ThreadsPerLittleCore: 1})
+	hw := &CoordinatedHW{Lim: DefaultLimits()}
+	f0 := b.BigFreq()
+	hw.Step(board.Sensors{BigPowerW: 4.5, LittlePowerW: 0.1, TempC: 60}, b)
+	if b.BigFreq() >= f0 {
+		t.Fatalf("frequency %v did not drop on power violation", b.BigFreq())
+	}
+	// The safe frequency should be a single decisive move, not a tiny step.
+	if b.BigFreq() > f0-0.1 {
+		t.Fatalf("backoff too timid: %v from %v", b.BigFreq(), f0)
+	}
+}
+
+func TestDecoupledHWRequestsMax(t *testing.T) {
+	// The Performance governor requests the maximum operating point
+	// unconditionally — violations are the firmware's problem.
+	cfg := board.DefaultConfig()
+	b := board.New(cfg)
+	b.SetBigFreq(1.0)
+	b.SetBigCores(2)
+	hw := &DecoupledHW{Lim: DefaultLimits()}
+	hw.Step(board.Sensors{BigPowerW: 4.0, TempC: 85}, b)
+	if b.BigFreq() != cfg.Big.FreqMaxGHz || b.BigCores() != cfg.Big.MaxCores {
+		t.Fatalf("governor should request max: %v GHz, %d cores", b.BigFreq(), b.BigCores())
+	}
+}

@@ -1,0 +1,157 @@
+// Package lqgctl is the runtime for the paper's LQG baseline (§VI-B): the
+// same state-machine stepping as an SSV controller, but with the
+// deficiencies the paper attributes to LQG designs — the controller assumes
+// inputs are continuous and unbounded, so it has no saturation awareness
+// (its internal state keeps winding while an actuator is pinned at its
+// physical limit, wasting intervals "trying to change an input beyond its
+// limit and observing no change"), and it has no notion of the actuators'
+// discrete level sets (commands are rounded only at the very end, outside
+// the controller's knowledge).
+package lqgctl
+
+import (
+	"fmt"
+	"math"
+
+	"yukta/internal/robust"
+	"yukta/internal/sysid"
+)
+
+// Runtime executes an LQG controller against physical signals.
+type Runtime struct {
+	ctl *robust.Controller
+
+	outScale []sysid.Scaling
+	extScale []sysid.Scaling
+	inScale  []sysid.Scaling
+	levels   [][]float64
+
+	state   []float64
+	targets []float64
+
+	wastedSteps int
+	totalSteps  int
+}
+
+// Config wires the controller to its physical signals; identical shape to
+// the SSV runtime so schemes can be built uniformly.
+type Config struct {
+	Controller     *robust.Controller
+	OutputScales   []sysid.Scaling
+	ExternalScales []sysid.Scaling
+	InputScales    []sysid.Scaling
+	InputLevels    [][]float64
+}
+
+// New validates the wiring.
+func New(cfg Config) (*Runtime, error) {
+	c := cfg.Controller
+	if c == nil {
+		return nil, fmt.Errorf("lqgctl: nil controller")
+	}
+	if len(cfg.OutputScales) != c.NumOut || len(cfg.ExternalScales) != c.NumExt ||
+		len(cfg.InputScales) != c.NumCtrl || len(cfg.InputLevels) != c.NumCtrl {
+		return nil, fmt.Errorf("lqgctl: scale/level arity mismatch for %d/%d/%d controller",
+			c.NumOut, c.NumExt, c.NumCtrl)
+	}
+	for i, ls := range cfg.InputLevels {
+		if len(ls) == 0 {
+			return nil, fmt.Errorf("lqgctl: empty level set for input %d", i)
+		}
+	}
+	return &Runtime{
+		ctl:      c,
+		outScale: append([]sysid.Scaling(nil), cfg.OutputScales...),
+		extScale: append([]sysid.Scaling(nil), cfg.ExternalScales...),
+		inScale:  append([]sysid.Scaling(nil), cfg.InputScales...),
+		levels:   cfg.InputLevels,
+		state:    make([]float64, c.K.Order()),
+		targets:  make([]float64, c.NumOut),
+	}, nil
+}
+
+// SetTargets sets output targets in physical units.
+func (r *Runtime) SetTargets(phys []float64) error {
+	if len(phys) != len(r.targets) {
+		return fmt.Errorf("lqgctl: %d targets for %d outputs", len(phys), len(r.targets))
+	}
+	for i, p := range phys {
+		r.targets[i] = r.outScale[i].Normalize(p)
+	}
+	return nil
+}
+
+// Step runs one control interval. The returned inputs are physical values
+// rounded to the nearest allowed level — but, unlike the SSV runtime, the
+// controller state evolves as if the unbounded command had been applied.
+func (r *Runtime) Step(measurements, externals []float64) ([]float64, error) {
+	c := r.ctl
+	if len(measurements) != c.NumOut || len(externals) != c.NumExt {
+		return nil, fmt.Errorf("lqgctl: arity mismatch (%d meas, %d ext)", len(measurements), len(externals))
+	}
+	dy := make([]float64, c.NumOut+c.NumExt)
+	for i, m := range measurements {
+		dy[i] = r.outScale[i].Normalize(m) - r.targets[i]
+	}
+	for i, e := range externals {
+		dy[c.NumOut+i] = r.extScale[i].Normalize(e)
+	}
+	u := c.K.C.MulVec(r.state)
+	du := c.K.D.MulVec(dy)
+	for i := range u {
+		u[i] += du[i]
+	}
+	ax := c.K.A.MulVec(r.state)
+	bdy := c.K.B.MulVec(dy)
+	for i := range ax {
+		r.state[i] = ax[i] + bdy[i]
+	}
+
+	phys := make([]float64, c.NumCtrl)
+	wasted := false
+	for i := range phys {
+		raw := r.inScale[i].Denormalize(u[i])
+		lv := r.levels[i]
+		if raw < lv[0]-0.25*(lv[len(lv)-1]-lv[0]) || raw > lv[len(lv)-1]+0.25*(lv[len(lv)-1]-lv[0]) {
+			// The controller is commanding far beyond the physical range:
+			// this interval is spent "changing an input beyond its limit and
+			// observing no change" (§VI-B).
+			wasted = true
+		}
+		phys[i] = nearest(lv, raw)
+	}
+	r.totalSteps++
+	if wasted {
+		r.wastedSteps++
+	}
+	return phys, nil
+}
+
+// WastedFraction reports the fraction of control intervals spent commanding
+// actuators beyond their physical limits — the paper measures 9% for
+// bodytrack under LQG.
+func (r *Runtime) WastedFraction() float64 {
+	if r.totalSteps == 0 {
+		return 0
+	}
+	return float64(r.wastedSteps) / float64(r.totalSteps)
+}
+
+// Reset clears the controller state.
+func (r *Runtime) Reset() {
+	for i := range r.state {
+		r.state[i] = 0
+	}
+	r.wastedSteps, r.totalSteps = 0, 0
+}
+
+func nearest(levels []float64, v float64) float64 {
+	best := levels[0]
+	bd := math.Abs(v - best)
+	for _, l := range levels[1:] {
+		if d := math.Abs(v - l); d < bd {
+			best, bd = l, d
+		}
+	}
+	return best
+}

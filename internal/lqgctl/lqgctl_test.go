@@ -1,0 +1,145 @@
+package lqgctl
+
+import (
+	"math"
+	"testing"
+
+	"yukta/internal/lti"
+	"yukta/internal/mat"
+	"yukta/internal/robust"
+	"yukta/internal/sysid"
+)
+
+func lqgController(t *testing.T) *robust.Controller {
+	t.Helper()
+	a := mat.FromRows([][]float64{{0.7, 0.1}, {0.0, 0.6}})
+	b := mat.FromRows([][]float64{{0.5, 0.05}, {0.2, 0.02}})
+	c := mat.FromRows([][]float64{{1, 0.3}})
+	d := mat.Zeros(1, 2)
+	plant := lti.MustStateSpace(a, b, c, d, 0.5)
+	ctl, err := robust.SynthesizeLQG(&robust.Spec{
+		Plant:        plant,
+		NumControls:  1,
+		InputWeights: []float64{1},
+		InputQuanta:  []float64{0.1},
+		OutputBounds: []float64{0.2},
+		Uncertainty:  0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+func runtimeFor(t *testing.T, ctl *robust.Controller) *Runtime {
+	t.Helper()
+	r, err := New(Config{
+		Controller:     ctl,
+		OutputScales:   []sysid.Scaling{{Min: 0, Max: 10}},
+		ExternalScales: []sysid.Scaling{{Min: 0, Max: 8}},
+		InputScales:    []sysid.Scaling{{Min: 0.2, Max: 2.0}},
+		InputLevels:    [][]float64{{0.2, 0.6, 1.0, 1.4, 1.8, 2.0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSynthesizeLQGShape(t *testing.T) {
+	ctl := lqgController(t)
+	if !math.IsNaN(ctl.Report.SSV) {
+		t.Fatal("LQG must not carry an SSV certificate")
+	}
+	if ctl.Report.StateDim != 3 { // 2 plant states + 1 output integrator
+		t.Fatalf("state dim %d, want 3", ctl.Report.StateDim)
+	}
+}
+
+func TestLQGTracks(t *testing.T) {
+	// LQG still works nominally: with a persistent error it pushes the input
+	// in the correct direction.
+	r := runtimeFor(t, lqgController(t))
+	if err := r.SetTargets([]float64{8}); err != nil {
+		t.Fatal(err)
+	}
+	var first, last float64
+	for i := 0; i < 20; i++ {
+		u, err := r.Step([]float64{2}, []float64{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = u[0]
+		}
+		last = u[0]
+	}
+	if last <= first {
+		t.Fatalf("LQG input did not rise: %v -> %v", first, last)
+	}
+}
+
+func TestLQGWindsUpUnderSaturation(t *testing.T) {
+	// The deliberate deficiency: under persistent saturation LQG takes much
+	// longer to recover than the SSV runtime (no anti-windup).
+	r := runtimeFor(t, lqgController(t))
+	if err := r.SetTargets([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := r.Step([]float64{0}, []float64{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.WastedFraction() == 0 {
+		t.Fatal("saturated intervals must count as wasted")
+	}
+	// Error flips: LQG stays pinned for many intervals.
+	pinned := 0
+	for i := 0; i < 30; i++ {
+		u, err := r.Step([]float64{10}, []float64{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u[0] >= 2.0-1e-9 {
+			pinned++
+		} else {
+			break
+		}
+	}
+	if pinned < 5 {
+		t.Fatalf("LQG unwound suspiciously fast (%d pinned steps); windup modeling lost", pinned)
+	}
+}
+
+func TestLQGQuantizesOnlyAtOutput(t *testing.T) {
+	r := runtimeFor(t, lqgController(t))
+	if err := r.SetTargets([]float64{6}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := r.Step([]float64{5}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[float64]bool{0.2: true, 0.6: true, 1.0: true, 1.4: true, 1.8: true, 2.0: true}
+	if !allowed[u[0]] {
+		t.Fatalf("output %v not on the level set", u[0])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected nil controller error")
+	}
+	ctl := lqgController(t)
+	if _, err := New(Config{Controller: ctl}); err == nil {
+		t.Fatal("expected arity error")
+	}
+	r := runtimeFor(t, ctl)
+	if _, err := r.Step([]float64{1, 2}, []float64{0}); err == nil {
+		t.Fatal("expected measurement arity error")
+	}
+	if err := r.SetTargets([]float64{1, 2}); err == nil {
+		t.Fatal("expected target arity error")
+	}
+}

@@ -1,0 +1,153 @@
+package lti
+
+import (
+	"errors"
+	"math"
+
+	"yukta/internal/mat"
+)
+
+// ErrUnstable is returned when an operation requires a Schur-stable matrix.
+var ErrUnstable = errors.New("lti: matrix is not Schur stable")
+
+// DiscreteLyapunov solves the discrete Lyapunov (Stein) equation
+//
+//	A X A^T - X + Q = 0
+//
+// for X using the doubling (Smith) iteration, which converges quadratically
+// for Schur-stable A: X = sum_k A^k Q (A^T)^k.
+func DiscreteLyapunov(a, q *mat.Matrix) (*mat.Matrix, error) {
+	if r, err := mat.SpectralRadius(a); err != nil || r >= 1-1e-12 {
+		return nil, ErrUnstable
+	}
+	x := q.Clone()
+	ak := a.Clone()
+	for iter := 0; iter < 100; iter++ {
+		term := ak.Mul(x).Mul(ak.T())
+		x = x.Add(term)
+		if term.MaxAbs() <= 1e-14*(1+x.MaxAbs()) {
+			return x, nil
+		}
+		ak = ak.Mul(ak)
+	}
+	return nil, mat.ErrNoConvergence
+}
+
+// ControllabilityGramian returns Wc solving A Wc A^T - Wc + B B^T = 0.
+func (s *StateSpace) ControllabilityGramian() (*mat.Matrix, error) {
+	return DiscreteLyapunov(s.A, s.B.Mul(s.B.T()))
+}
+
+// ObservabilityGramian returns Wo solving A^T Wo A - Wo + C^T C = 0.
+func (s *StateSpace) ObservabilityGramian() (*mat.Matrix, error) {
+	return DiscreteLyapunov(s.A.T(), s.C.T().Mul(s.C))
+}
+
+// H2Norm returns the H2 norm of a stable, strictly proper or proper discrete
+// system: sqrt(trace(C Wc C^T + D D^T)).
+func (s *StateSpace) H2Norm() (float64, error) {
+	if s.Order() == 0 {
+		return s.D.FrobeniusNorm(), nil
+	}
+	wc, err := s.ControllabilityGramian()
+	if err != nil {
+		return 0, err
+	}
+	t := s.C.Mul(wc).Mul(s.C.T()).Trace() + s.D.Mul(s.D.T()).Trace()
+	if t < 0 {
+		t = 0
+	}
+	return math.Sqrt(t), nil
+}
+
+// BalancedTruncation returns a reduced-order model keeping r states, using
+// balanced truncation based on the square-root method over the Gramians'
+// Cholesky-like factors. The system must be stable. If r >= Order, a clone
+// is returned.
+func (s *StateSpace) BalancedTruncation(r int) (*StateSpace, error) {
+	n := s.Order()
+	if r >= n {
+		return s.Clone(), nil
+	}
+	if r < 1 {
+		r = 1
+	}
+	wc, err := s.ControllabilityGramian()
+	if err != nil {
+		return nil, err
+	}
+	wo, err := s.ObservabilityGramian()
+	if err != nil {
+		return nil, err
+	}
+	// Petrov-Galerkin reduction onto the dominant invariant subspaces of
+	// M = Wc*Wo (right basis V) and M^T = Wo*Wc (left basis W), which carry
+	// the largest Hankel singular values. The oblique projector V(W^T V)^-1 W^T
+	// approximates balanced truncation without requiring an eigenvector
+	// decomposition.
+	m := wc.Mul(wo)
+	v := dominantSubspace(m, r)
+	w := dominantSubspace(m.T(), r)
+	wtv := w.T().Mul(v)
+	wtvInv, err := mat.Inverse(wtv)
+	if err != nil {
+		return nil, err
+	}
+	wt := wtvInv.Mul(w.T()) // left projector rows, satisfying wt*v = I
+	ar := wt.Mul(s.A).Mul(v)
+	br := wt.Mul(s.B)
+	cr := s.C.Mul(v)
+	return NewStateSpace(ar, br, cr, s.D.Clone(), s.Ts)
+}
+
+// dominantSubspace returns an orthonormal basis (n×r) for the dominant
+// invariant subspace of m via subspace iteration.
+func dominantSubspace(m *mat.Matrix, r int) *mat.Matrix {
+	n := m.Rows()
+	v := mat.Zeros(n, r)
+	for i := 0; i < n; i++ {
+		for j := 0; j < r; j++ {
+			// Deterministic, generically independent start basis.
+			s := math.Sin(float64(1 + i*r + j))
+			if j == i%r {
+				s += 0.1
+			}
+			v.Set(i, j, s)
+		}
+	}
+	v = orthonormalize(v)
+	for iter := 0; iter < 200; iter++ {
+		v = orthonormalize(m.Mul(v))
+	}
+	return v
+}
+
+// orthonormalize applies modified Gram-Schmidt to the columns of v.
+func orthonormalize(v *mat.Matrix) *mat.Matrix {
+	out := v.Clone()
+	for j := 0; j < out.Cols(); j++ {
+		col := out.Col(j)
+		for k := 0; k < j; k++ {
+			prev := out.Col(k)
+			var dot float64
+			for i := range col {
+				dot += col[i] * prev[i]
+			}
+			for i := range col {
+				col[i] -= dot * prev[i]
+			}
+		}
+		var nrm float64
+		for _, x := range col {
+			nrm += x * x
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm < 1e-300 {
+			nrm = 1
+		}
+		for i := range col {
+			out.Set(i, j, col[i]/nrm)
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package lti
+
+import (
+	"math"
+	"math/cmplx"
+
+	"yukta/internal/mat"
+)
+
+// Margins holds the classical stability margins of a SISO loop transfer
+// function L(z): how much gain increase and how much phase lag the loop
+// tolerates before instability. The paper's Table I contrasts this
+// "Classical" margin-based robustness with the structured (SSV) approach;
+// the library provides both.
+type Margins struct {
+	// GainMargin is the factor by which the loop gain can grow before the
+	// Nyquist plot reaches -1 (Inf when the phase never crosses 180°).
+	GainMargin float64
+	// GainCrossoverRadS is the frequency where |L| = 1 (0 if never).
+	GainCrossoverRadS float64
+	// PhaseMarginDeg is the additional phase lag tolerated at the gain
+	// crossover, in degrees (Inf when |L| never reaches 1).
+	PhaseMarginDeg float64
+	// PhaseCrossoverRadS is the frequency where the phase crosses -180°.
+	PhaseCrossoverRadS float64
+}
+
+// LoopMargins computes gain and phase margins of the SISO open-loop system
+// l on a dense frequency grid up to Nyquist. It returns ErrDimension for
+// MIMO systems (use SystemMu-based analysis there, which is the point of
+// the paper).
+func LoopMargins(l *StateSpace) (Margins, error) {
+	if l.Inputs() != 1 || l.Outputs() != 1 {
+		return Margins{}, ErrDimension
+	}
+	const grid = 2048
+	m := Margins{GainMargin: math.Inf(1), PhaseMarginDeg: math.Inf(1)}
+	nyq := math.Pi / l.Ts
+
+	prevPhase := math.NaN()
+	prevMag := math.NaN()
+	for i := 1; i <= grid; i++ {
+		w := nyq * float64(i) / grid
+		g, err := l.Evaluate(cmplx.Exp(complex(0, w*l.Ts)))
+		if err != nil {
+			continue
+		}
+		v := g.At(0, 0)
+		mag := cmplx.Abs(v)
+		ph := cmplx.Phase(v) * 180 / math.Pi // (-180, 180]
+
+		// Phase crossover: phase passes through ±180° (wrap-aware).
+		if !math.IsNaN(prevPhase) {
+			if crossed180(prevPhase, ph) && mag > 0 {
+				if gm := 1 / mag; gm < m.GainMargin {
+					m.GainMargin = gm
+					m.PhaseCrossoverRadS = w
+				}
+			}
+			// Gain crossover: |L| passes through 1 from above or below.
+			if (prevMag-1)*(mag-1) <= 0 && prevMag != mag {
+				pm := 180 + ph
+				if pm > 180 {
+					pm -= 360
+				}
+				if math.Abs(pm) < math.Abs(m.PhaseMarginDeg) || math.IsInf(m.PhaseMarginDeg, 1) {
+					m.PhaseMarginDeg = pm
+					m.GainCrossoverRadS = w
+				}
+			}
+		}
+		prevPhase, prevMag = ph, mag
+	}
+	return m, nil
+}
+
+// crossed180 reports whether the phase trajectory passed through ±180°
+// between two consecutive samples, accounting for the wrap at ±180.
+func crossed180(a, b float64) bool {
+	// Map both phases to distance-from-180 on the circle; a crossing shows
+	// up as a sign change of sin(phase) near the negative real axis.
+	na := math.Mod(a+360, 360) // [0, 360)
+	nb := math.Mod(b+360, 360)
+	return (na-180)*(nb-180) <= 0 && math.Abs(na-nb) < 180
+}
+
+// SensitivityPeak returns max |1/(1+L)| over the unit circle for a SISO
+// loop — the modern scalar robustness measure (Ms); small peaks mean large
+// combined margins.
+func SensitivityPeak(l *StateSpace) (float64, error) {
+	if l.Inputs() != 1 || l.Outputs() != 1 {
+		return 0, ErrDimension
+	}
+	id := MustStateSpace(mat.Zeros(0, 0), mat.Zeros(0, 1), mat.Zeros(1, 0),
+		mat.New(1, 1, []float64{1}), l.Ts)
+	cl, err := Feedback(id, l, -1) // 1/(1+L)
+	if err != nil {
+		return 0, err
+	}
+	return cl.HInfNorm()
+}

@@ -1,0 +1,85 @@
+package lti
+
+import (
+	"math"
+	"testing"
+
+	"yukta/internal/mat"
+)
+
+// loopK returns L(z) = k/(z-a), the canonical discrete first-order loop.
+func loopK(k, a float64) *StateSpace {
+	return MustStateSpace(
+		mat.New(1, 1, []float64{a}),
+		mat.New(1, 1, []float64{1}),
+		mat.New(1, 1, []float64{k}),
+		mat.New(1, 1, []float64{0}),
+		ts,
+	)
+}
+
+func TestLoopMarginsFirstOrder(t *testing.T) {
+	// L(z) = k/(z-a): phase crossover at z = -1 where |L| = k/(1+a).
+	// Closed loop 1+L = 0 at z = a-k: stable for |a-k| < 1 → k < 1+a.
+	// Gain margin should therefore be (1+a)/k.
+	k, a := 0.5, 0.6
+	m, err := LoopMargins(loopK(k, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGM := (1 + a) / k
+	if math.Abs(m.GainMargin-wantGM) > 0.05*wantGM {
+		t.Fatalf("gain margin %v, want %v", m.GainMargin, wantGM)
+	}
+	// Phase margin positive for this stable loop.
+	if m.PhaseMarginDeg <= 0 || m.PhaseMarginDeg > 180 {
+		t.Fatalf("phase margin %v out of range", m.PhaseMarginDeg)
+	}
+	if m.GainCrossoverRadS <= 0 || m.PhaseCrossoverRadS <= 0 {
+		t.Fatalf("crossover frequencies missing: %+v", m)
+	}
+}
+
+func TestLoopMarginsNoCrossover(t *testing.T) {
+	// Tiny loop gain: |L| never reaches 1 → infinite phase margin.
+	m, err := LoopMargins(loopK(0.01, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(m.PhaseMarginDeg, 1) {
+		t.Fatalf("phase margin %v, want +Inf", m.PhaseMarginDeg)
+	}
+	// Gain margin finite: the phase still crosses 180° at Nyquist.
+	if m.GainMargin < 10 {
+		t.Fatalf("gain margin %v, want large", m.GainMargin)
+	}
+}
+
+func TestLoopMarginsRejectMIMO(t *testing.T) {
+	g := MustStateSpace(mat.Zeros(1, 1), mat.Zeros(1, 2), mat.Zeros(2, 1), mat.Zeros(2, 2), ts)
+	if _, err := LoopMargins(g); err != ErrDimension {
+		t.Fatalf("expected ErrDimension, got %v", err)
+	}
+	if _, err := SensitivityPeak(g); err != ErrDimension {
+		t.Fatalf("expected ErrDimension, got %v", err)
+	}
+}
+
+func TestSensitivityPeak(t *testing.T) {
+	// For L = k/(z-a), S = (z-a)/(z-a+k). Larger k (up to instability)
+	// raises the sensitivity peak.
+	s1, err := SensitivityPeak(loopK(0.3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SensitivityPeak(loopK(1.4, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 < 1-1e-9 {
+		t.Fatalf("sensitivity peak %v below 1", s1)
+	}
+	if s2 <= s1 {
+		t.Fatalf("peak should grow toward instability: %v vs %v", s2, s1)
+	}
+}

@@ -1,0 +1,320 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNoConvergence is returned when an iterative algorithm exceeds its
+// iteration budget.
+var ErrNoConvergence = errors.New("mat: iteration did not converge")
+
+// Eigenvalues returns the eigenvalues of the square matrix a as complex
+// numbers, in no particular order. It uses balancing, Householder reduction
+// to upper Hessenberg form, and the Francis double-shift QR algorithm.
+func Eigenvalues(a *Matrix) ([]complex128, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: Eigenvalues of non-square %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	if n == 0 {
+		return nil, nil
+	}
+	h := a.Clone()
+	balance(h)
+	hessenberg(h)
+	return hqr(h)
+}
+
+// SpectralRadius returns max |lambda_i| over the eigenvalues of a.
+func SpectralRadius(a *Matrix) (float64, error) {
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		return 0, err
+	}
+	var r float64
+	for _, l := range eig {
+		if m := cmplx.Abs(l); m > r {
+			r = m
+		}
+	}
+	return r, nil
+}
+
+// balance applies the Parlett-Reinsch balancing procedure in place, scaling
+// rows and columns by powers of two so that their norms are comparable.
+// Balancing is a similarity transform, so eigenvalues are unchanged.
+func balance(a *Matrix) {
+	const radix = 2.0
+	n := a.rows
+	sqrdx := radix * radix
+	for done := false; !done; {
+		done = true
+		for i := 0; i < n; i++ {
+			var r, c float64
+			for j := 0; j < n; j++ {
+				if j != i {
+					c += math.Abs(a.At(j, i))
+					r += math.Abs(a.At(i, j))
+				}
+			}
+			if c == 0 || r == 0 {
+				continue
+			}
+			g := r / radix
+			f := 1.0
+			s := c + r
+			for c < g {
+				f *= radix
+				c *= sqrdx
+			}
+			g = r * radix
+			for c > g {
+				f /= radix
+				c /= sqrdx
+			}
+			if (c+r)/f < 0.95*s {
+				done = false
+				g = 1 / f
+				for j := 0; j < n; j++ {
+					a.Set(i, j, a.At(i, j)*g)
+				}
+				for j := 0; j < n; j++ {
+					a.Set(j, i, a.At(j, i)*f)
+				}
+			}
+		}
+	}
+}
+
+// hessenberg reduces a to upper Hessenberg form in place using stabilized
+// elementary similarity transformations (Gaussian elimination with pivoting).
+func hessenberg(a *Matrix) {
+	n := a.rows
+	for m := 1; m < n-1; m++ {
+		var x float64
+		i := m
+		for j := m; j < n; j++ {
+			if math.Abs(a.At(j, m-1)) > math.Abs(x) {
+				x = a.At(j, m-1)
+				i = j
+			}
+		}
+		if i != m {
+			for j := m - 1; j < n; j++ {
+				v := a.At(i, j)
+				a.Set(i, j, a.At(m, j))
+				a.Set(m, j, v)
+			}
+			for j := 0; j < n; j++ {
+				v := a.At(j, i)
+				a.Set(j, i, a.At(j, m))
+				a.Set(j, m, v)
+			}
+		}
+		if x != 0 {
+			for i := m + 1; i < n; i++ {
+				y := a.At(i, m-1)
+				if y == 0 {
+					continue
+				}
+				y /= x
+				a.Set(i, m-1, y)
+				for j := m; j < n; j++ {
+					a.Set(i, j, a.At(i, j)-y*a.At(m, j))
+				}
+				for j := 0; j < n; j++ {
+					a.Set(j, m, a.At(j, m)+y*a.At(j, i))
+				}
+			}
+		}
+	}
+	// Zero the entries below the first subdiagonal (they hold multipliers).
+	for i := 2; i < n; i++ {
+		for j := 0; j < i-1; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+}
+
+// hqr finds all eigenvalues of an upper Hessenberg matrix using the Francis
+// double-shift QR algorithm (Numerical Recipes' hqr).
+func hqr(a *Matrix) ([]complex128, error) {
+	n := a.rows
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+
+	var anorm float64
+	for i := 0; i < n; i++ {
+		for j := max(i-1, 0); j < n; j++ {
+			anorm += math.Abs(a.At(i, j))
+		}
+	}
+	nn := n - 1
+	t := 0.0
+	for nn >= 0 {
+		its := 0
+		var l int
+		for {
+			// Look for a single small subdiagonal element.
+			for l = nn; l >= 1; l-- {
+				s := math.Abs(a.At(l-1, l-1)) + math.Abs(a.At(l, l))
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(a.At(l, l-1))+s == s {
+					a.Set(l, l-1, 0)
+					break
+				}
+			}
+			x := a.At(nn, nn)
+			if l == nn {
+				// One root found.
+				wr[nn] = x + t
+				wi[nn] = 0
+				nn--
+				break
+			}
+			y := a.At(nn-1, nn-1)
+			w := a.At(nn, nn-1) * a.At(nn-1, nn)
+			if l == nn-1 {
+				// Two roots found.
+				p := 0.5 * (y - x)
+				q := p*p + w
+				z := math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 {
+					// Real pair.
+					if p >= 0 {
+						z = p + z
+					} else {
+						z = p - z
+					}
+					wr[nn-1] = x + z
+					wr[nn] = wr[nn-1]
+					if z != 0 {
+						wr[nn] = x - w/z
+					}
+					wi[nn-1], wi[nn] = 0, 0
+				} else {
+					// Complex pair.
+					wr[nn-1] = x + p
+					wr[nn] = x + p
+					wi[nn-1] = -z
+					wi[nn] = z
+				}
+				nn -= 2
+				break
+			}
+			// No roots found; continue iteration.
+			if its == 60 {
+				return nil, ErrNoConvergence
+			}
+			var p, q, r, z float64
+			if its == 10 || its == 20 {
+				// Exceptional shift.
+				t += x
+				for i := 0; i <= nn; i++ {
+					a.Set(i, i, a.At(i, i)-x)
+				}
+				s := math.Abs(a.At(nn, nn-1)) + math.Abs(a.At(nn-1, nn-2))
+				y = 0.75 * s
+				x = y
+				w = -0.4375 * s * s
+			}
+			its++
+			var m int
+			for m = nn - 2; m >= l; m-- {
+				z = a.At(m, m)
+				r = x - z
+				s := y - z
+				p = (r*s-w)/a.At(m+1, m) + a.At(m, m+1)
+				q = a.At(m+1, m+1) - z - r - s
+				r = a.At(m+2, m+1)
+				s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				u := math.Abs(a.At(m, m-1)) * (math.Abs(q) + math.Abs(r))
+				v := math.Abs(p) * (math.Abs(a.At(m-1, m-1)) + math.Abs(z) + math.Abs(a.At(m+1, m+1)))
+				if u+v == v {
+					break
+				}
+			}
+			for i := m + 2; i <= nn; i++ {
+				a.Set(i, i-2, 0)
+				if i != m+2 {
+					a.Set(i, i-3, 0)
+				}
+			}
+			for k := m; k <= nn-1; k++ {
+				if k != m {
+					p = a.At(k, k-1)
+					q = a.At(k+1, k-1)
+					r = 0
+					if k != nn-1 {
+						r = a.At(k+2, k-1)
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p /= x
+						q /= x
+						r /= x
+					}
+				}
+				s := math.Sqrt(p*p + q*q + r*r)
+				if p < 0 {
+					s = -s
+				}
+				if s == 0 {
+					continue
+				}
+				if k == m {
+					if l != m {
+						a.Set(k, k-1, -a.At(k, k-1))
+					}
+				} else {
+					a.Set(k, k-1, -s*x)
+				}
+				p += s
+				x = p / s
+				y := q / s
+				z = r / s
+				q /= p
+				r /= p
+				for j := k; j <= nn; j++ {
+					p = a.At(k, j) + q*a.At(k+1, j)
+					if k != nn-1 {
+						p += r * a.At(k+2, j)
+						a.Set(k+2, j, a.At(k+2, j)-p*z)
+					}
+					a.Set(k+1, j, a.At(k+1, j)-p*y)
+					a.Set(k, j, a.At(k, j)-p*x)
+				}
+				mmin := nn
+				if nn > k+3 {
+					mmin = k + 3
+				}
+				for i := l; i <= mmin; i++ {
+					p = x*a.At(i, k) + y*a.At(i, k+1)
+					if k != nn-1 {
+						p += z * a.At(i, k+2)
+						a.Set(i, k+2, a.At(i, k+2)-p*r)
+					}
+					a.Set(i, k+1, a.At(i, k+1)-p*q)
+					a.Set(i, k, a.At(i, k)-p)
+				}
+			}
+		}
+	}
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(wr[i], wi[i])
+	}
+	return out, nil
+}

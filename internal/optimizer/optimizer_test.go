@@ -1,0 +1,133 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+)
+
+func cfg() Config {
+	return Config{
+		Initial:         []float64{4, 2.0, 0.2}, // perf, bigW, littleW
+		UpStep:          []float64{0.8, 0.15, 0.015},
+		DownStep:        []float64{0.25, 0.4, 0.04},
+		Lo:              []float64{0.5, 0.5, 0.05},
+		Hi:              []float64{12, 3.0, 0.3},
+		SettleIntervals: 2,
+		Smoothing:       0.5,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected error on empty config")
+	}
+	c := cfg()
+	c.UpStep = c.UpStep[:2]
+	if _, err := New(c); err == nil {
+		t.Fatal("expected arity error")
+	}
+	c = cfg()
+	c.Lo[0] = 100
+	if _, err := New(c); err == nil {
+		t.Fatal("expected Lo>Hi error")
+	}
+}
+
+func TestClimbsWhileImproving(t *testing.T) {
+	o, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed monotonically improving E×D: the optimizer must keep raising the
+	// performance target.
+	exd := 10.0
+	start := o.Targets()[0]
+	for i := 0; i < 40; i++ {
+		exd *= 0.97
+		o.Update(exd)
+	}
+	if got := o.Targets()[0]; got <= start {
+		t.Fatalf("perf target %v did not climb from %v", got, start)
+	}
+	if o.Moves() == 0 {
+		t.Fatal("no moves issued")
+	}
+}
+
+func TestConvergesToBowlMinimum(t *testing.T) {
+	// E×D responds to the targets through a quadratic bowl with its minimum
+	// at perf = 6: the optimizer must settle near it rather than pinning at
+	// a clamp.
+	c := cfg()
+	c.Smoothing = 0 // direct feedback
+	o, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bowl := func(perf float64) float64 { return (perf-6)*(perf-6) + 1 }
+	for i := 0; i < 400; i++ {
+		o.Update(bowl(o.Targets()[0]))
+	}
+	got := o.Targets()[0]
+	if math.Abs(got-6) > 1.5 {
+		t.Fatalf("perf target settled at %v, want near 6", got)
+	}
+}
+
+func TestTargetsStayClamped(t *testing.T) {
+	// E×D genuinely improves with the perf target all the way to the clamp:
+	// the optimizer must ride up to (and hover at) Hi without ever leaving
+	// the clamp box.
+	c := cfg()
+	c.Smoothing = 0
+	o, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		o.Update(100 / (1 + o.Targets()[0]))
+		for j, v := range o.Targets() {
+			if v < c.Lo[j]-1e-12 || v > c.Hi[j]+1e-12 {
+				t.Fatalf("target %d = %v outside [%v,%v]", j, v, c.Lo[j], c.Hi[j])
+			}
+		}
+	}
+	if got := o.Targets()[0]; got < c.Hi[0]-3*c.UpStep[0] {
+		t.Fatalf("perf target %v should hover near the clamp %v", got, c.Hi[0])
+	}
+}
+
+func TestSettlePeriodHoldsTargets(t *testing.T) {
+	c := cfg()
+	c.SettleIntervals = 5
+	o, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := o.Targets()
+	for i := 0; i < 4; i++ {
+		o.Update(5)
+	}
+	after := o.Targets()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("targets moved before the settle period elapsed")
+		}
+	}
+	o.Update(5) // 5th tick triggers a move
+	if o.Moves() != 1 {
+		t.Fatalf("moves = %d, want 1", o.Moves())
+	}
+}
+
+func TestInitialTargetsClamped(t *testing.T) {
+	c := cfg()
+	c.Initial[1] = 99
+	o, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Targets()[1]; got != c.Hi[1] {
+		t.Fatalf("initial target not clamped: %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+// Package robust implements the robust-control machinery behind Yukta's SSV
+// controllers: the discrete algebraic Riccati equation (DARE), LQR and
+// Kalman gains built on it, the structured singular value (SSV, μ) upper
+// bound via diagonal scaling, and the iterative SSV controller synthesis
+// described in Section II-C of the paper (propose a controller, evaluate the
+// SSV of the closed loop against the designer's Δ/B/W, and adjust until the
+// scaling factor min(s) exceeds 1).
+package robust
+
+import (
+	"errors"
+	"fmt"
+
+	"yukta/internal/mat"
+)
+
+// ErrSynthesis reports that a controller satisfying the specification could
+// not be constructed.
+var ErrSynthesis = errors.New("robust: synthesis failed")
+
+// SolveDARE computes the stabilizing solution X of the discrete algebraic
+// Riccati equation
+//
+//	X = A^T X A - A^T X B (R + B^T X B)^-1 B^T X A + Q
+//
+// using the structure-preserving doubling algorithm (SDA), which converges
+// quadratically when (A,B) is stabilizable and (A,Q^{1/2}) is detectable.
+func SolveDARE(a, b, q, r *mat.Matrix) (*mat.Matrix, error) {
+	n := a.Rows()
+	if a.Cols() != n || b.Rows() != n || q.Rows() != n || q.Cols() != n ||
+		r.Rows() != b.Cols() || r.Cols() != b.Cols() {
+		return nil, fmt.Errorf("robust: DARE dimension mismatch (A %dx%d, B %dx%d, Q %dx%d, R %dx%d)",
+			a.Rows(), a.Cols(), b.Rows(), b.Cols(), q.Rows(), q.Cols(), r.Rows(), r.Cols())
+	}
+	rInv, err := mat.Inverse(r)
+	if err != nil {
+		return nil, fmt.Errorf("robust: R is singular: %w", err)
+	}
+	// SDA initialization: A0 = A, G0 = B R^-1 B^T, H0 = Q.
+	ak := a.Clone()
+	gk := b.Mul(rInv).Mul(b.T())
+	hk := q.Clone()
+	eye := mat.Identity(n)
+	for iter := 0; iter < 120; iter++ {
+		w := eye.Add(gk.Mul(hk))
+		wInv, err := mat.Inverse(w)
+		if err != nil {
+			return nil, fmt.Errorf("robust: DARE doubling became singular at iteration %d: %w", iter, err)
+		}
+		awi := ak.Mul(wInv)
+		a1 := awi.Mul(ak)
+		g1 := gk.Add(awi.Mul(gk).Mul(ak.T()))
+		h1 := hk.Add(ak.T().Mul(hk).Mul(wInv).Mul(ak))
+		dh := h1.Sub(hk).MaxAbs()
+		ak, gk, hk = a1, g1, h1
+		if dh <= 1e-13*(1+hk.MaxAbs()) {
+			// Symmetrize to clean up roundoff.
+			x := hk.Add(hk.T()).Scale(0.5)
+			return x, nil
+		}
+	}
+	return nil, mat.ErrNoConvergence
+}
+
+// LQRGain returns the optimal state-feedback gain K for the discrete LQR
+// problem minimizing sum x^T Q x + u^T R u subject to x+ = A x + B u, with
+// u = -K x, together with the Riccati solution X.
+func LQRGain(a, b, q, r *mat.Matrix) (k, x *mat.Matrix, err error) {
+	x, err = SolveDARE(a, b, q, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	btxb := r.Add(b.T().Mul(x).Mul(b))
+	rhs := b.T().Mul(x).Mul(a)
+	k, err = mat.Solve(btxb, rhs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("robust: LQR gain solve: %w", err)
+	}
+	return k, x, nil
+}
+
+// KalmanGain returns the steady-state (predictor form) Kalman gain L for
+//
+//	x+ = A x + w,   y = C x + v,   cov(w)=W, cov(v)=V
+//
+// such that the estimator  xhat+ = A xhat + B u + L (y - C xhat)  is optimal,
+// together with the error covariance P.
+func KalmanGain(a, c, w, v *mat.Matrix) (l, p *mat.Matrix, err error) {
+	// Duality: filter DARE is the control DARE with (A^T, C^T, W, V).
+	p, err = SolveDARE(a.T(), c.T(), w, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	cpct := v.Add(c.Mul(p).Mul(c.T()))
+	rhs := c.Mul(p).Mul(a.T())
+	lt, err := mat.Solve(cpct, rhs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("robust: Kalman gain solve: %w", err)
+	}
+	return lt.T(), p, nil
+}

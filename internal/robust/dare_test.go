@@ -1,0 +1,149 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"yukta/internal/mat"
+)
+
+// dareResidual returns ||A'XA - X - A'XB(R+B'XB)^-1 B'XA + Q|| for a
+// candidate solution X.
+func dareResidual(a, b, q, r, x *mat.Matrix) float64 {
+	btxb := r.Add(b.T().Mul(x).Mul(b))
+	inv, err := mat.Inverse(btxb)
+	if err != nil {
+		return math.Inf(1)
+	}
+	term := a.T().Mul(x).Mul(b).Mul(inv).Mul(b.T()).Mul(x).Mul(a)
+	res := a.T().Mul(x).Mul(a).Sub(x).Sub(term).Add(q)
+	return res.MaxAbs()
+}
+
+func TestSolveDAREScalar(t *testing.T) {
+	// Scalar DARE: x = a²x - a²x²b²/(r + b²x) + q with a=1, b=1, q=1, r=1:
+	// x = x - x²/(1+x) + 1 → x² = x + ... solve: x²/(1+x) = 1 → x² - x - 1 = 0
+	// → x = (1+√5)/2 (golden ratio).
+	a := mat.New(1, 1, []float64{1})
+	b := mat.New(1, 1, []float64{1})
+	q := mat.New(1, 1, []float64{1})
+	r := mat.New(1, 1, []float64{1})
+	x, err := SolveDARE(a, b, q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + math.Sqrt(5)) / 2
+	if math.Abs(x.At(0, 0)-want) > 1e-10 {
+		t.Fatalf("X = %v, want %v", x.At(0, 0), want)
+	}
+}
+
+func TestSolveDAREResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(2)
+		a := mat.Zeros(n, n)
+		b := mat.Zeros(n, m)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			for j := 0; j < m; j++ {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		// Keep A's spectral radius moderate so (A,B) is comfortably
+		// stabilizable for a generic B.
+		if rad, err := mat.SpectralRadius(a); err == nil && rad > 1.2 {
+			a = a.Scale(1.2 / rad)
+		}
+		q := mat.Identity(n)
+		r := mat.Identity(m)
+		x, err := SolveDARE(a, b, q, r)
+		if err != nil {
+			return false
+		}
+		return dareResidual(a, b, q, r, x) < 1e-6*(1+x.MaxAbs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLQRStabilizes(t *testing.T) {
+	// LQR must stabilize an unstable plant: closed loop A - B K Schur.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		a := mat.Zeros(n, n)
+		b := mat.Zeros(n, 1)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			b.Set(i, 0, 1+rng.Float64())
+		}
+		if rad, err := mat.SpectralRadius(a); err == nil && rad > 1.5 {
+			a = a.Scale(1.5 / rad)
+		}
+		k, _, err := LQRGain(a, b, mat.Identity(n), mat.Identity(1))
+		if err != nil {
+			return false
+		}
+		acl := a.Sub(b.Mul(k))
+		rad, err := mat.SpectralRadius(acl)
+		return err == nil && rad < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKalmanStabilizesEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 4
+	a := mat.Zeros(n, n)
+	c := mat.Zeros(2, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64()*0.6)
+		}
+	}
+	c.Set(0, 0, 1)
+	c.Set(1, 2, 1)
+	l, p, err := KalmanGain(a, c, mat.Identity(n), mat.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error dynamics A - L C must be Schur stable.
+	acl := a.Sub(l.Mul(c))
+	rad, err := mat.SpectralRadius(acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rad >= 1 {
+		t.Fatalf("estimator spectral radius %v >= 1", rad)
+	}
+	// Covariance must be symmetric positive semidefinite (check symmetry and
+	// nonnegative diagonal).
+	if !p.Equal(p.T(), 1e-8) {
+		t.Fatal("covariance not symmetric")
+	}
+	for i := 0; i < n; i++ {
+		if p.At(i, i) < -1e-10 {
+			t.Fatalf("covariance diagonal %d negative: %v", i, p.At(i, i))
+		}
+	}
+}
+
+func TestSolveDAREDimensionErrors(t *testing.T) {
+	if _, err := SolveDARE(mat.Zeros(2, 3), mat.Zeros(2, 1), mat.Identity(2), mat.Identity(1)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := SolveDARE(mat.Zeros(2, 2), mat.Zeros(3, 1), mat.Identity(2), mat.Identity(1)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

@@ -1,0 +1,58 @@
+package robust
+
+import (
+	"testing"
+
+	"yukta/internal/lti"
+	"yukta/internal/mat"
+)
+
+// TestLFTStabilityConsistency guards against the analysis loop and the
+// direct simulation loop disagreeing about stability: buildClosedLoop's
+// internal dynamics matrix must have the same stability verdict as the
+// hand-assembled plant+controller interconnection.
+func TestLFTStabilityConsistency(t *testing.T) {
+	// A plant whose DC gain is rank deficient (both inputs drive the same
+	// direction): integral action on both outputs cannot zero both errors,
+	// the classic windup-drift trap.
+	a := mat.FromRows([][]float64{{0.5, 0}, {0, 0.5}})
+	b := mat.FromRows([][]float64{{1, 1}, {0.5, 0.5}})
+	c := mat.Identity(2)
+	d := mat.Zeros(2, 2)
+	plant := lti.MustStateSpace(a, b, c, d, 0.5)
+	spec := &Spec{
+		Plant:        plant,
+		NumControls:  2,
+		InputWeights: []float64{1, 1},
+		InputQuanta:  []float64{0.05, 0.05},
+		OutputBounds: []float64{0.4, 0.4},
+		Uncertainty:  0.4,
+	}
+	k, err := designCandidate(spec, 0.25, 0.05, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := buildClosedLoop(spec, k, spec.resolveTargetScales())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLFT, err := cl.SpectralRadius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct interconnection: u = K dy, dy = y (zero target), Dk = 0.
+	n, nk := plant.Order(), k.Order()
+	big := mat.Zeros(n+nk, n+nk)
+	big.SetSlice(0, 0, plant.A)
+	big.SetSlice(0, n, plant.B.Slice(0, n, 0, 2).Mul(k.C))
+	big.SetSlice(n, 0, k.B.Slice(0, nk, 0, 2).Mul(plant.C))
+	big.SetSlice(n, n, k.A)
+	rDirect, err := mat.SpectralRadius(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (rLFT < 1) != (rDirect < 1) {
+		t.Fatalf("stability verdicts disagree: LFT radius %v, direct radius %v", rLFT, rDirect)
+	}
+	t.Logf("LFT radius %.4f, direct radius %.4f", rLFT, rDirect)
+}

@@ -1,0 +1,156 @@
+package robust
+
+import (
+	"math"
+	"math/cmplx"
+
+	"yukta/internal/lti"
+	"yukta/internal/mat"
+)
+
+// MuUpperBound returns an upper bound on the structured singular value μ(M)
+// for a block structure of scalar complex uncertainties (one 1×1 block per
+// channel, the structure produced by Yukta's per-signal guardbands and
+// quantization blocks):
+//
+//	μ(M) ≤ min over diagonal D > 0 of σ_max(D M D^-1)
+//
+// The minimization starts from the Perron-based scaling (optimal for
+// nonnegative matrices) and is refined with cyclic coordinate descent on the
+// diagonal entries of D.
+func MuUpperBound(m *mat.CMatrix) float64 {
+	n := m.Rows()
+	if n != m.Cols() {
+		// μ is defined for the square interconnection matrix; callers must
+		// pass the Δ-facing square block.
+		panic("robust: MuUpperBound requires a square matrix")
+	}
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return cmplx.Abs(m.At(0, 0))
+	}
+	// Perron initialization on |M|: D_i = sqrt(u_i / v_i) where u, v are the
+	// left and right Perron vectors of the elementwise absolute value.
+	absM := mat.Zeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			absM.Set(i, j, cmplx.Abs(m.At(i, j)))
+		}
+	}
+	u := perronVector(absM.T())
+	v := perronVector(absM)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if v[i] <= 1e-300 || u[i] <= 1e-300 {
+			d[i] = 1
+		} else {
+			d[i] = math.Sqrt(u[i] / v[i])
+		}
+	}
+	scaled := func(d []float64) float64 {
+		dm := m.Clone()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dm.Set(i, j, dm.At(i, j)*complex(d[i]/d[j], 0))
+			}
+		}
+		return mat.CMaxSingularValue(dm)
+	}
+	best := scaled(d)
+	if plain := mat.CMaxSingularValue(m); plain < best {
+		// Identity scaling is sometimes better than Perron for complex M.
+		for i := range d {
+			d[i] = 1
+		}
+		best = plain
+	}
+	// Cyclic coordinate descent with multiplicative steps.
+	step := 1.5
+	for pass := 0; pass < 30 && step > 1.001; pass++ {
+		improved := false
+		for i := 0; i < n; i++ {
+			for _, f := range []float64{step, 1 / step} {
+				trial := make([]float64, n)
+				copy(trial, d)
+				trial[i] *= f
+				if s := scaled(trial); s < best-1e-12 {
+					best = s
+					copy(d, trial)
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step = math.Sqrt(step)
+		}
+	}
+	return best
+}
+
+// perronVector returns the (entrywise nonnegative) dominant eigenvector of a
+// nonnegative matrix via power iteration, normalized to unit 1-norm.
+func perronVector(a *mat.Matrix) []float64 {
+	n := a.Rows()
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	for iter := 0; iter < 200; iter++ {
+		w := a.MulVec(v)
+		var s float64
+		for _, x := range w {
+			s += math.Abs(x)
+		}
+		if s == 0 {
+			return v
+		}
+		var diff float64
+		for i := range w {
+			w[i] /= s
+			diff += math.Abs(w[i] - v[i])
+		}
+		v = w
+		if diff < 1e-13 {
+			break
+		}
+	}
+	return v
+}
+
+// SystemMu returns the peak of MuUpperBound over the unit circle for the
+// square transfer matrix of sys, evaluated on a frequency grid of nGrid
+// points (plus DC and Nyquist). It is the quantity the SSV synthesis loop
+// drives below 1.
+func SystemMu(sys *lti.StateSpace, nGrid int) (float64, error) {
+	_, hi, err := SystemMuBounds(sys, nGrid, false)
+	return hi, err
+}
+
+// SystemMuBounds returns lower and upper bounds on the peak structured
+// singular value of sys over the unit circle (the pair MATLAB's mussv
+// reports). The lower bound is skipped (returned as 0) unless withLower is
+// set, since the power iteration is several times more expensive than the
+// upper bound.
+func SystemMuBounds(sys *lti.StateSpace, nGrid int, withLower bool) (lo, hi float64, err error) {
+	if nGrid < 8 {
+		nGrid = 8
+	}
+	for i := 0; i <= nGrid; i++ {
+		theta := math.Pi * float64(i) / float64(nGrid)
+		g, err := sys.Evaluate(cmplx.Exp(complex(0, theta)))
+		if err != nil {
+			return math.Inf(1), math.Inf(1), nil // pole on the unit circle
+		}
+		if v := MuUpperBound(g); v > hi {
+			hi = v
+		}
+		if withLower {
+			if v := MuLowerBound(g); v > lo {
+				lo = v
+			}
+		}
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,152 @@
+package robust
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"yukta/internal/lti"
+	"yukta/internal/mat"
+)
+
+func randC(rng *rand.Rand, n int) *mat.CMatrix {
+	m := mat.CZeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	return m
+}
+
+func TestMuScalar(t *testing.T) {
+	m := mat.CZeros(1, 1)
+	m.Set(0, 0, 3-4i)
+	if got := MuUpperBound(m); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mu of scalar = %v, want 5", got)
+	}
+}
+
+func TestMuDiagonal(t *testing.T) {
+	// For a diagonal M with scalar blocks, mu equals max |m_ii| exactly and
+	// D-scaling must achieve it.
+	m := mat.CZeros(3, 3)
+	m.Set(0, 0, 2i)
+	m.Set(1, 1, -1)
+	m.Set(2, 2, 0.5+0.5i)
+	got := MuUpperBound(m)
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("mu of diagonal = %v, want 2", got)
+	}
+}
+
+func TestMuBoundsSandwich(t *testing.T) {
+	// rho(M) <= mu(M) <= sigma_max(M) for scalar-block structure.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := randC(rng, n)
+		mu := MuUpperBound(m)
+		sigma := mat.CMaxSingularValue(m)
+		if mu > sigma+1e-8 {
+			return false
+		}
+		// Spectral radius via the real embedding of the complex matrix:
+		// [Re -Im; Im Re] has eigenvalues = eigs of M and conj(M).
+		re := mat.Zeros(2*n, 2*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				re.Set(i, j, real(m.At(i, j)))
+				re.Set(i, n+j, -imag(m.At(i, j)))
+				re.Set(n+i, j, imag(m.At(i, j)))
+				re.Set(n+i, n+j, real(m.At(i, j)))
+			}
+		}
+		rho, err := mat.SpectralRadius(re)
+		if err != nil {
+			return true // skip on eig failure
+		}
+		return rho <= mu+1e-6*(1+mu)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuScalingInvariance(t *testing.T) {
+	// mu(cM) = |c| mu(M).
+	rng := rand.New(rand.NewSource(17))
+	m := randC(rng, 4)
+	mu1 := MuUpperBound(m)
+	mu3 := MuUpperBound(m.Scale(3))
+	if math.Abs(mu3-3*mu1) > 1e-6*(1+mu3) {
+		t.Fatalf("mu(3M)=%v, 3*mu(M)=%v", mu3, 3*mu1)
+	}
+}
+
+func TestMuBeatsRawSigmaOnSkewedMatrix(t *testing.T) {
+	// A matrix with large off-diagonal asymmetry: D-scaling must strictly
+	// improve over sigma_max.
+	m := mat.CZeros(2, 2)
+	m.Set(0, 0, 0.1)
+	m.Set(0, 1, 100)
+	m.Set(1, 0, 0.0001)
+	m.Set(1, 1, 0.1)
+	sigma := mat.CMaxSingularValue(m)
+	mu := MuUpperBound(m)
+	if mu >= sigma*0.5 {
+		t.Fatalf("expected D-scaling to shrink bound: mu=%v sigma=%v", mu, sigma)
+	}
+	// mu(M) for scalar blocks is >= rho(M) ~ 0.1-ish here.
+	if mu < 0.1 {
+		t.Fatalf("mu=%v below spectral radius", mu)
+	}
+}
+
+func TestSystemMuMatchesHInfForSISO(t *testing.T) {
+	// For a 1x1 system the mu upper bound equals |G|, so SystemMu == HInf
+	// up to grid resolution.
+	a := mat.New(1, 1, []float64{0.8})
+	b := mat.New(1, 1, []float64{1})
+	c := mat.New(1, 1, []float64{1})
+	d := mat.New(1, 1, []float64{0})
+	g := lti.MustStateSpace(a, b, c, d, 0.5)
+	mu, err := SystemMu(g, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinf, err := g.HInfNorm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu-hinf) > 0.02*hinf {
+		t.Fatalf("SystemMu=%v, HInf=%v", mu, hinf)
+	}
+}
+
+func TestPerronVector(t *testing.T) {
+	// Perron vector of [[2,1],[1,2]] is [0.5, 0.5] after 1-norm scaling.
+	a := mat.FromRows([][]float64{{2, 1}, {1, 2}})
+	v := perronVector(a)
+	if math.Abs(v[0]-0.5) > 1e-9 || math.Abs(v[1]-0.5) > 1e-9 {
+		t.Fatalf("perron vector %v, want [0.5 0.5]", v)
+	}
+}
+
+func TestMuUnitaryDiagonalInvariance(t *testing.T) {
+	// mu is invariant under multiplication by a diagonal unitary matrix
+	// (scalar uncertainty structure absorbs phases).
+	rng := rand.New(rand.NewSource(23))
+	m := randC(rng, 3)
+	u := mat.CZeros(3, 3)
+	u.Set(0, 0, cmplx.Exp(0.4i))
+	u.Set(1, 1, cmplx.Exp(-1.1i))
+	u.Set(2, 2, cmplx.Exp(2.2i))
+	mu1 := MuUpperBound(m)
+	mu2 := MuUpperBound(u.Mul(m))
+	if math.Abs(mu1-mu2) > 1e-6*(1+mu1) {
+		t.Fatalf("mu not phase invariant: %v vs %v", mu1, mu2)
+	}
+}

@@ -1,0 +1,73 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"yukta/internal/mat"
+)
+
+func TestMuLowerScalar(t *testing.T) {
+	m := mat.CZeros(1, 1)
+	m.Set(0, 0, 3+4i)
+	if got := MuLowerBound(m); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("lower bound of scalar = %v, want 5", got)
+	}
+}
+
+func TestMuLowerDiagonalExact(t *testing.T) {
+	// For diagonal M, μ = max|m_ii| exactly; both bounds must agree.
+	m := mat.CZeros(3, 3)
+	m.Set(0, 0, 1+1i)
+	m.Set(1, 1, -2)
+	m.Set(2, 2, 0.3i)
+	lo := MuLowerBound(m)
+	hi := MuUpperBound(m)
+	if math.Abs(lo-2) > 1e-6 || math.Abs(hi-2) > 1e-6 {
+		t.Fatalf("bounds %v..%v, want both 2", lo, hi)
+	}
+}
+
+func TestMuBoundsBracket(t *testing.T) {
+	// lower <= upper always, and the gap should be modest for small random
+	// matrices (D-scaling is exact for n <= 3 scalar blocks).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := randC(rng, n)
+		lo := MuLowerBound(m)
+		hi := MuUpperBound(m)
+		if lo > hi*(1+1e-6) {
+			return false
+		}
+		// The lower bound must at least reach the spectral radius.
+		return lo >= complexSpectralRadius(m)-1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuBoundsTightFor2x2(t *testing.T) {
+	// For two scalar blocks the D-scaled upper bound equals μ; the power
+	// iteration should close most of the gap.
+	rng := rand.New(rand.NewSource(77))
+	var worst float64
+	for trial := 0; trial < 20; trial++ {
+		m := randC(rng, 2)
+		lo := MuLowerBound(m)
+		hi := MuUpperBound(m)
+		if hi == 0 {
+			continue
+		}
+		gap := (hi - lo) / hi
+		if gap > worst {
+			worst = gap
+		}
+	}
+	if worst > 0.25 {
+		t.Fatalf("2x2 bound gap up to %.0f%%, lower-bound iteration too weak", worst*100)
+	}
+}

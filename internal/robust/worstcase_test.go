@@ -1,0 +1,81 @@
+package robust
+
+import (
+	"math"
+	"testing"
+
+	"yukta/internal/lti"
+	"yukta/internal/mat"
+)
+
+// uncertainTestSystem builds a Δ-N system: one scalar uncertainty channel
+// around a first-order plant plus a performance channel.
+//
+//	N maps [w_Δ; w] → [f_Δ; z] with
+//	f_Δ = k*G(z)*(w_Δ + w),  z = G(z)*(w_Δ + w),  G(z)=g/(z-a).
+func uncertainTestSystem(a, g, k float64) *lti.StateSpace {
+	A := mat.New(1, 1, []float64{a})
+	B := mat.FromRows([][]float64{{g, g}})
+	C := mat.FromRows([][]float64{{k}, {1}})
+	D := mat.Zeros(2, 2)
+	return lti.MustStateSpace(A, B, C, D, 0.5)
+}
+
+func TestWorstCaseGainNoUncertainty(t *testing.T) {
+	// With delta = 0 the worst case equals the nominal H∞ norm of the
+	// performance block.
+	sys := uncertainTestSystem(0.5, 1, 0.3)
+	got, err := WorstCaseGain(sys, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nominal z/w transfer is G(z): peak 1/(1-0.5) = 2.
+	if math.Abs(got-2) > 0.05 {
+		t.Fatalf("nominal worst case %v, want 2", got)
+	}
+}
+
+func TestWorstCaseGainGrowsWithDelta(t *testing.T) {
+	sys := uncertainTestSystem(0.5, 1, 0.3)
+	g0, err := WorstCaseGain(sys, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := WorstCaseGain(sys, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := WorstCaseGain(sys, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(g0 < g1 && g1 < g2) {
+		t.Fatalf("worst case not monotone in delta: %v %v %v", g0, g1, g2)
+	}
+	// Analytic check: the Δ loop is f = kG(w_Δ+w), w_Δ = Δ f, so
+	// z = G/(1-delta*k*G)*w at worst alignment. At DC: G=2, k=0.3,
+	// delta=0.5 → 2/(1-0.3) ≈ 2.857.
+	want := 2 / (1 - 0.5*0.3*2)
+	if math.Abs(g1-want) > 0.1*want {
+		t.Fatalf("worst case at delta=0.5 is %v, want ≈ %v", g1, want)
+	}
+}
+
+func TestWorstCaseGainUnboundedAtInstability(t *testing.T) {
+	// delta*k*|G| reaches 1 → robust stability lost → unbounded gain.
+	sys := uncertainTestSystem(0.5, 1, 0.6) // k*Gmax = 1.2
+	got, err := WorstCaseGain(sys, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Fatalf("worst case %v, want +Inf past the robustness margin", got)
+	}
+}
+
+func TestWorstCaseGainValidation(t *testing.T) {
+	sys := uncertainTestSystem(0.5, 1, 0.3)
+	if _, err := WorstCaseGain(sys, 5, 0.5); err == nil {
+		t.Fatal("expected error for nd exceeding dimensions")
+	}
+}

@@ -1,0 +1,238 @@
+// Package series provides time-series recording, summary statistics, CSV
+// export and terminal (ASCII) rendering for the experiment harness. Every
+// figure in the paper that plots a signal versus time (Figures 10, 11, 15a,
+// 17) is produced through this package.
+package series
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is a named, uniformly usable sequence of (time, value) samples.
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// New returns an empty series.
+func New(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Add appends one sample.
+func (s *Series) Add(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.V) }
+
+// Stats summarizes a series.
+type Stats struct {
+	Min, Max, Mean, Std float64
+	// Oscillation counts direction reversals whose amplitude exceeds 5% of
+	// the series range — the "peaks and valleys" metric used to discuss
+	// Figure 10.
+	Oscillations int
+}
+
+// Summarize computes summary statistics.
+func (s *Series) Summarize() Stats {
+	if len(s.V) == 0 {
+		return Stats{}
+	}
+	st := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, v := range s.V {
+		st.Min = math.Min(st.Min, v)
+		st.Max = math.Max(st.Max, v)
+		sum += v
+	}
+	st.Mean = sum / float64(len(s.V))
+	var ss float64
+	for _, v := range s.V {
+		d := v - st.Mean
+		ss += d * d
+	}
+	st.Std = math.Sqrt(ss / float64(len(s.V)))
+	// Count significant direction reversals.
+	thresh := 0.05 * (st.Max - st.Min)
+	if thresh > 0 {
+		lastExtreme := s.V[0]
+		dir := 0
+		for _, v := range s.V[1:] {
+			d := v - lastExtreme
+			switch {
+			case d > thresh:
+				if dir < 0 {
+					st.Oscillations++
+				}
+				dir = 1
+				lastExtreme = v
+			case d < -thresh:
+				if dir > 0 {
+					st.Oscillations++
+				}
+				dir = -1
+				lastExtreme = v
+			default:
+				if (dir > 0 && v > lastExtreme) || (dir < 0 && v < lastExtreme) {
+					lastExtreme = v
+				}
+			}
+		}
+	}
+	return st
+}
+
+// MeanAbove returns the mean of samples with t >= t0 (for steady-state
+// analysis past an initialization transient).
+func (s *Series) MeanAbove(t0 float64) float64 {
+	var sum float64
+	var n int
+	for i, t := range s.T {
+		if t >= t0 {
+			sum += s.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WriteCSV emits "time,value" rows with a header.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "time_s,%s\n", s.Name); err != nil {
+		return err
+	}
+	for i := range s.T {
+		if _, err := fmt.Fprintf(w, "%.3f,%.6g\n", s.T[i], s.V[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderASCII draws the series as a compact ASCII chart of the given width
+// and height, with min/max labels — enough to eyeball the oscillation
+// structure of Figures 10/11/17 in a terminal.
+func (s *Series) RenderASCII(width, height int) string {
+	if len(s.V) == 0 || width < 8 || height < 2 {
+		return "(empty series)\n"
+	}
+	st := s.Summarize()
+	lo, hi := st.Min, st.Max
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Downsample to width buckets by mean.
+	buckets := make([]float64, width)
+	counts := make([]int, width)
+	t0, t1 := s.T[0], s.T[len(s.T)-1]
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+	for i, t := range s.T {
+		b := int(float64(width-1) * (t - t0) / span)
+		buckets[b] += s.V[i]
+		counts[b]++
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for b := 0; b < width; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		v := buckets[b] / float64(counts[b])
+		r := int(float64(height-1) * (hi - v) / (hi - lo))
+		grid[r][b] = '*'
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "%s  [%.3g .. %.3g]\n", s.Name, lo, hi)
+	for _, row := range grid {
+		out.WriteString("|")
+		out.Write(row)
+		out.WriteString("|\n")
+	}
+	fmt.Fprintf(&out, " t: %.1fs .. %.1fs\n", t0, t1)
+	return out.String()
+}
+
+// Table renders a simple aligned text table: the harness uses it to print
+// each figure's bar data as rows.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i >= len(widths) {
+				break
+			}
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// Normalize returns values divided by the value at key in baseline order —
+// a helper for the paper's "normalized to Coordinated heuristic" bars.
+func Normalize(values map[string]float64, baseline string) map[string]float64 {
+	out := make(map[string]float64, len(values))
+	base := values[baseline]
+	for k, v := range values {
+		if base != 0 {
+			out[k] = v / base
+		}
+	}
+	return out
+}
+
+// SortedKeys returns the map's keys in sorted order (stable table output).
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,113 @@
+package series
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := New("p")
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i%2)) // 0,1,0,1,...
+	}
+	st := s.Summarize()
+	if st.Min != 0 || st.Max != 1 {
+		t.Fatalf("min/max %v/%v", st.Min, st.Max)
+	}
+	if math.Abs(st.Mean-0.5) > 1e-12 {
+		t.Fatalf("mean %v", st.Mean)
+	}
+	if st.Oscillations < 7 {
+		t.Fatalf("oscillations %d, want ~8", st.Oscillations)
+	}
+}
+
+func TestSummarizeFlat(t *testing.T) {
+	s := New("flat")
+	for i := 0; i < 5; i++ {
+		s.Add(float64(i), 3.3)
+	}
+	st := s.Summarize()
+	if st.Oscillations != 0 || st.Std != 0 {
+		t.Fatalf("flat series: %+v", st)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if st := New("e").Summarize(); st.Mean != 0 {
+		t.Fatalf("empty stats %+v", st)
+	}
+}
+
+func TestMeanAbove(t *testing.T) {
+	s := New("x")
+	s.Add(0, 100) // init transient
+	s.Add(1, 2)
+	s.Add(2, 4)
+	if got := s.MeanAbove(1); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("MeanAbove = %v, want 3", got)
+	}
+	if got := s.MeanAbove(99); got != 0 {
+		t.Fatalf("MeanAbove past end = %v, want 0", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := New("power_w")
+	s.Add(0.5, 3.3)
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "time_s,power_w\n") || !strings.Contains(out, "0.500,3.3") {
+		t.Fatalf("csv output %q", out)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	s := New("sine")
+	for i := 0; i < 200; i++ {
+		s.Add(float64(i)*0.5, math.Sin(float64(i)*0.1))
+	}
+	out := s.RenderASCII(60, 10)
+	if !strings.Contains(out, "sine") || strings.Count(out, "\n") < 10 {
+		t.Fatalf("render output:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("chart has no points")
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	if out := New("e").RenderASCII(40, 8); !strings.Contains(out, "empty") {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Header: []string{"app", "ExD"}}
+	tab.AddRow("blackscholes", "0.50")
+	tab.AddRow("mcf", "0.61")
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "blackscholes") || !strings.Contains(out, "---") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := Normalize(map[string]float64{"a": 2, "b": 4}, "a")
+	if n["a"] != 1 || n["b"] != 2 {
+		t.Fatalf("normalize %v", n)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]int{"c": 1, "a": 2, "b": 3})
+	if strings.Join(keys, "") != "abc" {
+		t.Fatalf("keys %v", keys)
+	}
+}

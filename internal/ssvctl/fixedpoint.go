@@ -1,0 +1,146 @@
+package ssvctl
+
+import (
+	"fmt"
+
+	"yukta/internal/robust"
+)
+
+// This file implements the §VI-D hardware view of an SSV controller: the
+// state machine x(T+1) = A x(T) + B Δy(T), u(T) = C x(T) + D Δy(T) computed
+// in 32-bit fixed-point arithmetic ("nearly 700 32-bit fixed-point
+// operations ... ≈2.6KB of data"). FixedPointController quantizes the
+// controller matrices to Q16.16 and steps the recurrence with integer
+// multiply-accumulate only, which is what the envisioned few-mW hardware
+// state machine would do. It exists both as an implementability demonstration
+// and to measure how little precision the control law actually needs.
+
+// fracBits is the fractional width of the Q16.16 representation.
+const fracBits = 16
+
+// fixed is a Q16.16 fixed-point number.
+type fixed int32
+
+func toFixed(v float64) fixed {
+	return fixed(v * (1 << fracBits))
+}
+
+func (f fixed) float() float64 {
+	return float64(f) / (1 << fracBits)
+}
+
+// mul multiplies two Q16.16 values with an int64 intermediate, as a 32×32→64
+// hardware multiplier would.
+func (f fixed) mul(g fixed) fixed {
+	return fixed((int64(f) * int64(g)) >> fracBits)
+}
+
+// FixedPointController is the §VI-D hardware realization of a synthesized
+// controller: matrices quantized to Q16.16, state held in Q16.16.
+type FixedPointController struct {
+	n, nin, nout int
+	a, b, c, d   []fixed // row-major
+	x            []fixed
+}
+
+// NewFixedPointController quantizes the controller's realization. It returns
+// an error if any matrix entry overflows the Q16.16 range (|v| >= 32768),
+// which would indicate a realization unsuitable for fixed-point hardware.
+func NewFixedPointController(ctl *robust.Controller) (*FixedPointController, error) {
+	k := ctl.K
+	n, nin, nout := k.Order(), k.Inputs(), k.Outputs()
+	f := &FixedPointController{
+		n: n, nin: nin, nout: nout,
+		a: make([]fixed, n*n),
+		b: make([]fixed, n*nin),
+		c: make([]fixed, nout*n),
+		d: make([]fixed, nout*nin),
+		x: make([]fixed, n),
+	}
+	const limit = 32767.0
+	conv := func(dst []fixed, rows, cols int, at func(i, j int) float64) error {
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				v := at(i, j)
+				if v > limit || v < -limit {
+					return fmt.Errorf("ssvctl: matrix entry %g overflows Q16.16", v)
+				}
+				dst[i*cols+j] = toFixed(v)
+			}
+		}
+		return nil
+	}
+	if err := conv(f.a, n, n, k.A.At); err != nil {
+		return nil, err
+	}
+	if err := conv(f.b, n, nin, k.B.At); err != nil {
+		return nil, err
+	}
+	if err := conv(f.c, nout, n, k.C.At); err != nil {
+		return nil, err
+	}
+	if err := conv(f.d, nout, nin, k.D.At); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Step advances the state machine by one control interval. dy is the
+// normalized input vector (deviations, externals and — for self-conditioned
+// realizations — the applied command); the returned u is the normalized
+// command vector. All arithmetic is 32-bit fixed point.
+func (f *FixedPointController) Step(dy []float64) ([]float64, error) {
+	if len(dy) != f.nin {
+		return nil, fmt.Errorf("ssvctl: fixed-point step got %d inputs, want %d", len(dy), f.nin)
+	}
+	dyF := make([]fixed, f.nin)
+	for i, v := range dy {
+		dyF[i] = toFixed(v)
+	}
+	// u = C x + D dy.
+	u := make([]float64, f.nout)
+	for i := 0; i < f.nout; i++ {
+		var acc fixed
+		for j := 0; j < f.n; j++ {
+			acc += f.c[i*f.n+j].mul(f.x[j])
+		}
+		for j := 0; j < f.nin; j++ {
+			acc += f.d[i*f.nin+j].mul(dyF[j])
+		}
+		u[i] = acc.float()
+	}
+	// x+ = A x + B dy.
+	next := make([]fixed, f.n)
+	for i := 0; i < f.n; i++ {
+		var acc fixed
+		for j := 0; j < f.n; j++ {
+			acc += f.a[i*f.n+j].mul(f.x[j])
+		}
+		for j := 0; j < f.nin; j++ {
+			acc += f.b[i*f.nin+j].mul(dyF[j])
+		}
+		next[i] = acc
+	}
+	f.x = next
+	return u, nil
+}
+
+// Reset zeroes the state.
+func (f *FixedPointController) Reset() {
+	for i := range f.x {
+		f.x[i] = 0
+	}
+}
+
+// Ops returns the multiply and add operation count of one invocation —
+// the quantity §VI-D reports as "nearly 700 32-bit fixed-point operations".
+func (f *FixedPointController) Ops() int {
+	mac := f.n*(f.n+f.nin) + f.nout*(f.n+f.nin)
+	return 2 * mac // one multiply + one add each
+}
+
+// StorageBytes returns the matrix plus state storage in bytes (4-byte
+// words), §VI-D's ≈2.6 KB.
+func (f *FixedPointController) StorageBytes() int {
+	return 4 * (len(f.a) + len(f.b) + len(f.c) + len(f.d) + len(f.x))
+}

@@ -1,0 +1,229 @@
+package ssvctl
+
+import (
+	"math"
+	"testing"
+
+	"yukta/internal/lti"
+	"yukta/internal/mat"
+	"yukta/internal/robust"
+	"yukta/internal/sysid"
+)
+
+// synthController builds a small real controller via the robust package.
+func synthController(t *testing.T) *robust.Controller {
+	t.Helper()
+	a := mat.FromRows([][]float64{{0.7, 0.1}, {0.0, 0.6}})
+	b := mat.FromRows([][]float64{{0.5, 0.05}, {0.2, 0.02}}) // control, external
+	c := mat.FromRows([][]float64{{1, 0.3}})
+	d := mat.Zeros(1, 2)
+	plant := lti.MustStateSpace(a, b, c, d, 0.5)
+	ctl, err := robust.Synthesize(&robust.Spec{
+		Plant:        plant,
+		NumControls:  1,
+		InputWeights: []float64{1},
+		InputQuanta:  []float64{0.1},
+		OutputBounds: []float64{0.2},
+		Uncertainty:  0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+func runtimeFor(t *testing.T, ctl *robust.Controller) *Runtime {
+	t.Helper()
+	r, err := New(Config{
+		Controller:     ctl,
+		OutputScales:   []sysid.Scaling{{Min: 0, Max: 10}},
+		ExternalScales: []sysid.Scaling{{Min: 0, Max: 8}},
+		InputScales:    []sysid.Scaling{{Min: 0.2, Max: 2.0}},
+		InputLevels:    [][]float64{Levels(0.2, 2.0, 0.1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestLevels(t *testing.T) {
+	l := Levels(0.2, 2.0, 0.1)
+	if len(l) != 19 {
+		t.Fatalf("level count %d, want 19", len(l))
+	}
+	if l[0] != 0.2 || l[len(l)-1] != 2.0 {
+		t.Fatalf("level endpoints %v %v", l[0], l[len(l)-1])
+	}
+	if got := Levels(1, 4, 1); len(got) != 4 {
+		t.Fatalf("core levels %v", got)
+	}
+	if got := Levels(3, 1, 1); len(got) != 1 {
+		t.Fatal("degenerate levels must return lone lo")
+	}
+}
+
+func TestNearestLevel(t *testing.T) {
+	l := []float64{1, 2, 3, 4}
+	cases := []struct{ in, want float64 }{
+		{0.2, 1}, {1.4, 1}, {1.6, 2}, {3.7, 4}, {9, 4}, {-5, 1},
+	}
+	for _, c := range cases {
+		if got := nearestLevel(l, c.in); got != c.want {
+			t.Fatalf("nearestLevel(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ctl := synthController(t)
+	bad := Config{
+		Controller:     ctl,
+		OutputScales:   []sysid.Scaling{{Min: 0, Max: 10}, {Min: 0, Max: 1}}, // too many
+		ExternalScales: []sysid.Scaling{{Min: 0, Max: 8}},
+		InputScales:    []sysid.Scaling{{Min: 0.2, Max: 2.0}},
+		InputLevels:    [][]float64{Levels(0.2, 2.0, 0.1)},
+	}
+	if _, err := New(bad); err == nil {
+		t.Fatal("expected output-scale count error")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected nil controller error")
+	}
+}
+
+func TestStepProducesAllowedLevels(t *testing.T) {
+	r := runtimeFor(t, synthController(t))
+	if err := r.SetTargets([]float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		u, err := r.Step([]float64{3 + float64(i%3)}, []float64{4}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every output must be on the 0.1 grid within [0.2, 2.0].
+		v := u[0]
+		if v < 0.2-1e-9 || v > 2.0+1e-9 {
+			t.Fatalf("input %v out of range", v)
+		}
+		steps := (v - 0.2) / 0.1
+		if math.Abs(steps-math.Round(steps)) > 1e-6 {
+			t.Fatalf("input %v not on quantization grid", v)
+		}
+	}
+}
+
+func TestStepErrorsOnWrongArity(t *testing.T) {
+	r := runtimeFor(t, synthController(t))
+	if _, err := r.Step([]float64{1, 2}, []float64{0}, nil); err == nil {
+		t.Fatal("expected measurement arity error")
+	}
+	if _, err := r.Step([]float64{1}, nil, nil); err == nil {
+		t.Fatal("expected externals arity error")
+	}
+}
+
+func TestControllerPushesTowardTarget(t *testing.T) {
+	// When the measurement is below target, an SSV controller for a plant
+	// with positive DC gain must raise its input over time.
+	r := runtimeFor(t, synthController(t))
+	if err := r.SetTargets([]float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	var first, last float64
+	for i := 0; i < 30; i++ {
+		u, err := r.Step([]float64{2}, []float64{0}, nil) // persistently below target
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = u[0]
+		}
+		last = u[0]
+	}
+	if last <= first {
+		t.Fatalf("input did not rise under persistent error: first %v last %v", first, last)
+	}
+}
+
+func TestAntiWindupRecovers(t *testing.T) {
+	// Saturate hard for a while, then flip the error sign: a controller with
+	// anti-windup reacts within a few steps instead of staying pinned.
+	r := runtimeFor(t, synthController(t))
+	if err := r.SetTargets([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := r.Step([]float64{0}, []float64{0}, nil); err != nil { // massive positive error
+			t.Fatal(err)
+		}
+	}
+	// Now the measurement jumps above target.
+	stepsToReact := -1
+	for i := 0; i < 40; i++ {
+		u, err := r.Step([]float64{10}, []float64{0}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u[0] < 2.0-1e-9 {
+			stepsToReact = i
+			break
+		}
+	}
+	if stepsToReact < 0 || stepsToReact > 25 {
+		t.Fatalf("controller stayed wound up for %d steps", stepsToReact)
+	}
+}
+
+func TestGuardbandMonitor(t *testing.T) {
+	r := runtimeFor(t, synthController(t))
+	if err := r.SetTargets([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if r.GuardbandExceeded() {
+		t.Fatal("fresh runtime must not report exhaustion")
+	}
+	// Persistent wild deviations far beyond the guaranteed bounds.
+	for i := 0; i < 20; i++ {
+		if _, err := r.Step([]float64{10}, []float64{0}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.GuardbandExceeded() {
+		t.Fatal("guardband monitor did not trip")
+	}
+	r.Reset()
+	if r.GuardbandExceeded() {
+		t.Fatal("Reset must clear the monitor")
+	}
+}
+
+func TestTargetsRoundTrip(t *testing.T) {
+	r := runtimeFor(t, synthController(t))
+	if err := r.SetTargets([]float64{6.5}); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Targets()
+	if math.Abs(got[0]-6.5) > 1e-9 {
+		t.Fatalf("targets round trip %v", got)
+	}
+	if err := r.SetTargets([]float64{1, 2}); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	r := runtimeFor(t, synthController(t))
+	if r.OpsPerStep() <= 0 || r.StateBytes() <= 0 {
+		t.Fatal("cost accounting must be positive")
+	}
+	// For the paper's dimensions (N=20, I=4, O=4, E=3) the op count is
+	// ~1100 MACs i.e. "nearly 700" operations order of magnitude; our
+	// formula must reproduce the same scale for those dimensions.
+	n, i, o, e := 20, 4, 4, 3
+	ops := 2 * (n*n + n*(o+e) + i*n + i*(o+e))
+	if ops < 600 || ops > 1400 {
+		t.Fatalf("paper-dimension op count %d out of the §VI-D ballpark", ops)
+	}
+}

@@ -1,0 +1,92 @@
+package sysid
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset as rows of u0..uN,y0..yM with a header, the
+// interchange format for inspecting identification experiments in external
+// tools (or re-running MATLAB's routines on the same data, as the paper's
+// authors would).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("%w: empty dataset", ErrData)
+	}
+	cw := csv.NewWriter(w)
+	nu, ny := len(d.U[0]), len(d.Y[0])
+	header := make([]string, 0, nu+ny)
+	for i := 0; i < nu; i++ {
+		header = append(header, fmt.Sprintf("u%d", i))
+	}
+	for i := 0; i < ny; i++ {
+		header = append(header, fmt.Sprintf("y%d", i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, nu+ny)
+	for t := 0; t < d.Len(); t++ {
+		for i, v := range d.U[t] {
+			row[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		for i, v := range d.Y[t] {
+			row[nu+i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. The header determines the
+// input/output split (u* columns then y* columns).
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("sysid: reading CSV header: %w", err)
+	}
+	nu := 0
+	for _, h := range header {
+		if len(h) > 0 && h[0] == 'u' {
+			nu++
+		}
+	}
+	ny := len(header) - nu
+	if nu == 0 || ny == 0 {
+		return nil, fmt.Errorf("%w: header %v has no u*/y* split", ErrData, header)
+	}
+	d := &Dataset{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sysid: reading CSV row: %w", err)
+		}
+		if len(rec) != nu+ny {
+			return nil, fmt.Errorf("%w: row has %d fields, want %d", ErrData, len(rec), nu+ny)
+		}
+		u := make([]float64, nu)
+		y := make([]float64, ny)
+		for i := 0; i < nu; i++ {
+			if u[i], err = strconv.ParseFloat(rec[i], 64); err != nil {
+				return nil, fmt.Errorf("sysid: parsing %q: %w", rec[i], err)
+			}
+		}
+		for i := 0; i < ny; i++ {
+			if y[i], err = strconv.ParseFloat(rec[nu+i], 64); err != nil {
+				return nil, fmt.Errorf("sysid: parsing %q: %w", rec[nu+i], err)
+			}
+		}
+		d.U = append(d.U, u)
+		d.Y = append(d.Y, y)
+	}
+	return d, nil
+}

@@ -1,0 +1,54 @@
+package sysid
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDatasetCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d, _ := synthData(rng, 50, 0.01)
+	var sb strings.Builder
+	if err := d.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip length %d, want %d", back.Len(), d.Len())
+	}
+	for i := range d.U {
+		for j := range d.U[i] {
+			if math.Abs(back.U[i][j]-d.U[i][j]) > 1e-12 {
+				t.Fatalf("u[%d][%d] mismatch", i, j)
+			}
+		}
+		for j := range d.Y[i] {
+			if math.Abs(back.Y[i][j]-d.Y[i][j]) > 1e-12 {
+				t.Fatalf("y[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if err := (&Dataset{}).WriteCSV(&strings.Builder{}); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("expected error for header without u*/y*")
+	}
+	if _, err := ReadCSV(strings.NewReader("u0,y0\n1\n")); err == nil {
+		t.Fatal("expected error for short row")
+	}
+	if _, err := ReadCSV(strings.NewReader("u0,y0\nx,2\n")); err == nil {
+		t.Fatal("expected error for non-numeric field")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}

@@ -1,0 +1,45 @@
+package sysid
+
+import "math/rand"
+
+// PRBS returns a pseudo-random binary sequence of length n taking values
+// ±amplitude, holding each value for hold samples. PRBS excitation is the
+// standard input for black-box identification: it is persistently exciting
+// across a wide frequency band.
+func PRBS(n, hold int, amplitude float64, rng *rand.Rand) []float64 {
+	if hold < 1 {
+		hold = 1
+	}
+	out := make([]float64, n)
+	v := amplitude
+	for i := 0; i < n; i++ {
+		if i%hold == 0 {
+			if rng.Intn(2) == 0 {
+				v = amplitude
+			} else {
+				v = -amplitude
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Staircase returns a sequence of length n that holds randomly chosen levels
+// from the given set, switching every hold samples. It matches how
+// identification drives quantized actuators such as frequency steps and core
+// counts (the paper sets inputs "in a variety of ways").
+func Staircase(n, hold int, levels []float64, rng *rand.Rand) []float64 {
+	if hold < 1 {
+		hold = 1
+	}
+	out := make([]float64, n)
+	v := levels[rng.Intn(len(levels))]
+	for i := 0; i < n; i++ {
+		if i%hold == 0 {
+			v = levels[rng.Intn(len(levels))]
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package sysid
+
+import (
+	"fmt"
+	"math"
+)
+
+// OrderScore records the cross-validated fit of one candidate model order.
+type OrderScore struct {
+	Orders Orders
+	// ValRMSE is the mean one-step prediction RMSE over the held-out tail,
+	// averaged across outputs.
+	ValRMSE float64
+	// TrainRMSE is the same metric on the training split.
+	TrainRMSE float64
+}
+
+// SelectOrder fits candidate ARX orders 1..maxOrder (with NB = NA) on the
+// first 70% of the dataset and scores one-step prediction on the held-out
+// 30%, returning the scores and the order with the best validation RMSE.
+// The paper's §IV-C picks order 4; this is the experiment a practitioner
+// runs to justify that choice.
+func SelectOrder(d *Dataset, maxOrder int, ts float64) ([]OrderScore, Orders, error) {
+	if maxOrder < 1 {
+		return nil, Orders{}, fmt.Errorf("sysid: maxOrder must be positive")
+	}
+	n := d.Len()
+	split := n * 7 / 10
+	if split < 20 || n-split < 20 {
+		return nil, Orders{}, fmt.Errorf("%w: %d samples is too short for order selection", ErrData, n)
+	}
+	train := &Dataset{U: d.U[:split], Y: d.Y[:split]}
+	val := &Dataset{U: d.U[split:], Y: d.Y[split:]}
+
+	var scores []OrderScore
+	best := Orders{}
+	bestRMSE := math.Inf(1)
+	for k := 1; k <= maxOrder; k++ {
+		ord := Orders{NA: k, NB: k}
+		m, err := Identify(train, ord, ts)
+		if err != nil {
+			continue
+		}
+		tm, err := m.Evaluate(train)
+		if err != nil {
+			continue
+		}
+		vm, err := m.Evaluate(val)
+		if err != nil {
+			continue
+		}
+		s := OrderScore{Orders: ord, ValRMSE: meanOf(vm.RMSE), TrainRMSE: meanOf(tm.RMSE)}
+		scores = append(scores, s)
+		if s.ValRMSE < bestRMSE {
+			bestRMSE = s.ValRMSE
+			best = ord
+		}
+	}
+	if len(scores) == 0 {
+		return nil, Orders{}, fmt.Errorf("%w: no candidate order could be fit", ErrData)
+	}
+	return scores, best, nil
+}
+
+func meanOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

@@ -1,0 +1,64 @@
+package sysid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSelectOrderFindsTrueOrder(t *testing.T) {
+	// Data from a known order-2 system: order selection should prefer
+	// orders >= 2 over order 1, and not reward over-fitting much beyond.
+	rng := rand.New(rand.NewSource(12))
+	d, _ := synthData(rng, 2500, 0.03)
+	scores, best, err := SelectOrder(d, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 5 {
+		t.Fatalf("got %d scores, want 5", len(scores))
+	}
+	if best.NA < 2 {
+		t.Fatalf("selected order %d, want >= 2 (true order 2)", best.NA)
+	}
+	// Validation error at the true order must clearly beat order 1.
+	var rmse1, rmse2 float64
+	for _, s := range scores {
+		if s.Orders.NA == 1 {
+			rmse1 = s.ValRMSE
+		}
+		if s.Orders.NA == 2 {
+			rmse2 = s.ValRMSE
+		}
+	}
+	if rmse2 >= rmse1 {
+		t.Fatalf("order 2 RMSE %v should beat order 1 RMSE %v", rmse2, rmse1)
+	}
+}
+
+func TestSelectOrderValidationGuards(t *testing.T) {
+	if _, _, err := SelectOrder(&Dataset{}, 4, 0.5); err == nil {
+		t.Fatal("expected error on empty dataset")
+	}
+	rng := rand.New(rand.NewSource(13))
+	d, _ := synthData(rng, 400, 0.01)
+	if _, _, err := SelectOrder(d, 0, 0.5); err == nil {
+		t.Fatal("expected error on zero maxOrder")
+	}
+}
+
+func TestSelectOrderTrainBeatsValidation(t *testing.T) {
+	// Training RMSE should not exceed validation RMSE systematically for the
+	// well-specified orders (sanity of the split bookkeeping).
+	rng := rand.New(rand.NewSource(14))
+	d, _ := synthData(rng, 2000, 0.05)
+	scores, _, err := SelectOrder(d, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s.TrainRMSE > s.ValRMSE*1.5 {
+			t.Fatalf("order %d: train RMSE %v wildly above validation %v",
+				s.Orders.NA, s.TrainRMSE, s.ValRMSE)
+		}
+	}
+}

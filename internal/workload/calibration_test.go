@@ -1,0 +1,43 @@
+package workload
+
+import "testing"
+
+// TestCatalogCharacterization asserts the control-relevant character of the
+// catalog entries: compute-bound apps have high IPC and low memory
+// boundedness, memory-bound apps the opposite, and the training set spans
+// both regimes (otherwise identification would not excite the dynamics the
+// evaluation needs).
+func TestCatalogCharacterization(t *testing.T) {
+	profile := func(name string) Profile {
+		a := MustLookup(name)
+		a.Advance(a.Total() * 0.5) // mid-run phase
+		return a.Profile()
+	}
+	computeBound := []string{"gamess", "gromacs", "h264ref", "blackscholes", "raytrace", "swaptions", "namd"}
+	memoryBound := []string{"mcf", "streamcluster", "canneal", "milc"}
+	for _, n := range computeBound {
+		p := profile(n)
+		if p.MemBound > 0.3 {
+			t.Errorf("%s: memBound %.2f too high for a compute-bound app", n, p.MemBound)
+		}
+		if p.IPCBig < 1.2 {
+			t.Errorf("%s: IPC %.2f too low for a compute-bound app", n, p.IPCBig)
+		}
+	}
+	for _, n := range memoryBound {
+		p := profile(n)
+		if p.MemBound < 0.5 {
+			t.Errorf("%s: memBound %.2f too low for a memory-bound app", n, p.MemBound)
+		}
+		if p.IPCBig > 1.0 {
+			t.Errorf("%s: IPC %.2f too high for a memory-bound app", n, p.IPCBig)
+		}
+	}
+	// Big cores must out-execute little cores per thread for every app.
+	for name := range catalog {
+		p := profile(name)
+		if p.IPCBig <= p.IPCLittle {
+			t.Errorf("%s: IPCBig %.2f <= IPCLittle %.2f", name, p.IPCBig, p.IPCLittle)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package yukta
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	platOnce sync.Once
+	plat     *Platform
+	platErr  error
+)
+
+func testPlatform(t *testing.T) *Platform {
+	t.Helper()
+	platOnce.Do(func() { plat, platErr = NewDefaultPlatform() })
+	if platErr != nil {
+		t.Fatal(platErr)
+	}
+	return plat
+}
+
+func TestPublicQuickstart(t *testing.T) {
+	p := testPlatform(t)
+	scheme := p.YuktaFullSSV(DefaultHWParams(), DefaultOSParams())
+	app, err := LookupWorkload("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p.Cfg, scheme, app, RunOptions{MaxTime: 20 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("quickstart run did not complete")
+	}
+	if res.ExD <= 0 || res.EnergyJ <= 0 || res.TimeS <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	if len(EvaluationApps()) != 14 {
+		t.Fatalf("evaluation suite has %d apps, want 14", len(EvaluationApps()))
+	}
+	if len(TrainingApps()) != 6 {
+		t.Fatalf("training set has %d apps, want 6", len(TrainingApps()))
+	}
+	for _, n := range EvaluationApps() {
+		if _, err := LookupWorkload(n); err != nil {
+			t.Fatalf("catalog missing %s: %v", n, err)
+		}
+	}
+	if len(HeterogeneousMixes()) != 4 {
+		t.Fatal("want 4 heterogeneous mixes")
+	}
+}
+
+func TestSynthesisReportsOnPublicAPI(t *testing.T) {
+	p := testPlatform(t)
+	ctl, err := p.HWControllerValidated(DefaultHWParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Report.SSV > 1 {
+		t.Errorf("validated HW controller SSV %.2f > 1", ctl.Report.SSV)
+	}
+	if ctl.Report.StateDim != 20 {
+		t.Errorf("controller N = %d, want the paper's 20", ctl.Report.StateDim)
+	}
+}
