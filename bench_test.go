@@ -11,6 +11,8 @@ package yukta
 // cmd/yukta-bench tool runs the complete suites.
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -26,7 +28,18 @@ var (
 
 func benchContext(b *testing.B) *exp.Context {
 	b.Helper()
-	benchOnce.Do(func() { benchCtx, benchErr = exp.NewContext() })
+	benchOnce.Do(func() {
+		// YUKTA_BENCH_PARALLEL pins the harness worker count (0/unset =
+		// NumCPU), so the parallel speedup can be measured:
+		//   YUKTA_BENCH_PARALLEL=1 go test -bench=BenchmarkFig9aEnergyDelay .
+		var opt exp.Options
+		if v := os.Getenv("YUKTA_BENCH_PARALLEL"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				opt.Parallelism = n
+			}
+		}
+		benchCtx, benchErr = exp.NewContextWithOptions(opt)
+	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
 	}
@@ -40,6 +53,7 @@ var benchApps = []string{"gamess", "mcf", "blackscholes", "streamcluster"}
 // two-layer schemes, reporting Yukta's average normalized E×D.
 func BenchmarkFig9aEnergyDelay(b *testing.B) {
 	c := benchContext(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		exd, _, err := c.Fig9(benchApps)
 		if err != nil {
@@ -53,6 +67,7 @@ func BenchmarkFig9aEnergyDelay(b *testing.B) {
 // BenchmarkFig9bExecTime regenerates Figure 9(b): execution time.
 func BenchmarkFig9bExecTime(b *testing.B) {
 	c := benchContext(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, times, err := c.Fig9(benchApps)
 		if err != nil {

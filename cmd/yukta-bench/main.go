@@ -25,12 +25,13 @@ var quickApps = []string{"gamess", "mcf", "blackscholes", "streamcluster"}
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate: 9, 10, 11, 12, 13, 14, 15a, 15b, 16a, 16b, 17, cost")
-		table  = flag.Int("table", 0, "table to print: 1, 2, 3 or 4")
-		all    = flag.Bool("all", false, "regenerate every table and figure")
-		quick  = flag.Bool("quick", false, "use a representative 4-app subset for suite figures")
-		list   = flag.Bool("list", false, "list available artifacts")
-		csvDir = flag.String("csv", "", "directory to dump time-series CSVs for trace figures")
+		fig      = flag.String("fig", "", "figure to regenerate: 9, 10, 11, 12, 13, 14, 15a, 15b, 16a, 16b, 17, cost")
+		table    = flag.Int("table", 0, "table to print: 1, 2, 3 or 4")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		quick    = flag.Bool("quick", false, "use a representative 4-app subset for suite figures")
+		list     = flag.Bool("list", false, "list available artifacts")
+		csvDir   = flag.String("csv", "", "directory to dump time-series CSVs for trace figures")
+		parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = NumCPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "building platform (identification + model fitting + controller synthesis)...")
-	ctx, err := exp.NewContext()
+	ctx, err := exp.NewContextWithOptions(exp.Options{Parallelism: *parallel})
 	if err != nil {
 		fatal(err)
 	}

@@ -25,9 +25,46 @@ type Platform struct {
 
 	// Caches of validated controllers: synthesis plus validation costs a few
 	// seconds, and experiment sweeps reuse the same designs across many runs.
+	// Each key holds a single-flight entry so that concurrent callers (the
+	// experiment harness fans runs across a worker pool) synthesize a given
+	// design exactly once and never serialize behind an unrelated key's
+	// synthesis — the map mutex protects only the entry lookup.
 	mu      sync.Mutex
-	hwCache map[HWParams]*robust.Controller
-	osCache map[OSParams]*robust.Controller
+	hwCache map[HWParams]*hwEntry
+	osCache map[OSParams]*osEntry
+
+	// Single-flight caches for the parameterless LQG baseline designs, so
+	// concurrent runs of the §VI-B schemes share one synthesis.
+	monoLQG   lqgEntry
+	decoupLQG decoupEntry
+}
+
+// hwEntry is a single-flight cache slot for one hardware design.
+type hwEntry struct {
+	once sync.Once
+	ctl  *robust.Controller
+	err  error
+}
+
+// osEntry is a single-flight cache slot for one software design.
+type osEntry struct {
+	once sync.Once
+	ctl  *robust.Controller
+	err  error
+}
+
+// lqgEntry is a single-flight cache slot for the monolithic LQG design.
+type lqgEntry struct {
+	once sync.Once
+	ctl  *robust.Controller
+	err  error
+}
+
+// decoupEntry is a single-flight cache slot for the decoupled LQG pair.
+type decoupEntry struct {
+	once   sync.Once
+	hw, os *robust.Controller
+	err    error
 }
 
 // NewPlatform collects training data on the given board configuration and
@@ -178,46 +215,107 @@ func (p *Platform) synthesizeOSSSVAt(op OSParams, minPenalty float64) (*robust.C
 }
 
 // HWControllerValidated returns the cached validated hardware controller
-// for the given knobs, designing it on first use.
+// for the given knobs, designing it on first use. Concurrent callers with
+// the same knobs share one synthesis (single-flight); callers with different
+// knobs synthesize in parallel.
 func (p *Platform) HWControllerValidated(hp HWParams) (*robust.Controller, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.hwCache == nil {
-		p.hwCache = make(map[HWParams]*robust.Controller)
+		p.hwCache = make(map[HWParams]*hwEntry)
 	}
-	if ctl, ok := p.hwCache[hp]; ok {
-		return ctl, nil
+	e, ok := p.hwCache[hp]
+	if !ok {
+		e = &hwEntry{}
+		p.hwCache[hp] = e
 	}
-	ctl, err := p.SynthesizeHWSSVValidated(hp)
-	if err != nil {
-		return nil, err
-	}
-	p.hwCache[hp] = ctl
-	return ctl, nil
+	p.mu.Unlock()
+	e.once.Do(func() { e.ctl, e.err = p.SynthesizeHWSSVValidated(hp) })
+	return e.ctl, e.err
 }
 
 // OSControllerValidated returns the cached validated software controller for
 // the given knobs, designing it on first use (validated against the default
-// hardware controller).
+// hardware controller). Single-flight per knob set, as for the hardware
+// cache.
 func (p *Platform) OSControllerValidated(op OSParams) (*robust.Controller, error) {
 	hwCtl, err := p.HWControllerValidated(DefaultHWParams())
 	if err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.osCache == nil {
-		p.osCache = make(map[OSParams]*robust.Controller)
+		p.osCache = make(map[OSParams]*osEntry)
 	}
-	if ctl, ok := p.osCache[op]; ok {
-		return ctl, nil
+	e, ok := p.osCache[op]
+	if !ok {
+		e = &osEntry{}
+		p.osCache[op] = e
 	}
-	ctl, err := p.SynthesizeOSSSVValidated(op, hwCtl)
-	if err != nil {
-		return nil, err
+	p.mu.Unlock()
+	e.once.Do(func() { e.ctl, e.err = p.SynthesizeOSSSVValidated(op, hwCtl) })
+	return e.ctl, e.err
+}
+
+// MonolithicLQGController returns the cached §VI-B monolithic LQG design,
+// synthesizing it on first use (single-flight).
+func (p *Platform) MonolithicLQGController() (*robust.Controller, error) {
+	e := &p.monoLQG
+	e.once.Do(func() { e.ctl, e.err = p.SynthesizeMonolithicLQG() })
+	return e.ctl, e.err
+}
+
+// DecoupledLQGControllers returns the cached §VI-B decoupled LQG pair,
+// synthesizing it on first use (single-flight).
+func (p *Platform) DecoupledLQGControllers() (hw, os *robust.Controller, err error) {
+	e := &p.decoupLQG
+	e.once.Do(func() { e.hw, e.os, e.err = p.SynthesizeDecoupledLQG() })
+	return e.hw, e.os, e.err
+}
+
+// WarmCaches pre-synthesizes the validated controllers for every given
+// parameter set, plus (when warmLQG is set) the LQG baseline designs, using
+// one goroutine per distinct design. It exists so a worker pool can fan out
+// experiment runs immediately afterwards without any worker paying a
+// synthesis on its critical path; the single-flight caches make concurrent
+// warming (or warming concurrent with running) safe and duplicate-free. The
+// first error encountered is returned, but every design is still attempted.
+func (p *Platform) WarmCaches(hws []HWParams, ops []OSParams, warmLQG bool) error {
+	var wg sync.WaitGroup
+	errc := make(chan error, len(hws)+len(ops)+1)
+	for _, hp := range hws {
+		wg.Add(1)
+		go func(hp HWParams) {
+			defer wg.Done()
+			if _, err := p.HWControllerValidated(hp); err != nil {
+				errc <- err
+			}
+		}(hp)
 	}
-	p.osCache[op] = ctl
-	return ctl, nil
+	for _, op := range ops {
+		wg.Add(1)
+		go func(op OSParams) {
+			defer wg.Done()
+			if _, err := p.OSControllerValidated(op); err != nil {
+				errc <- err
+			}
+		}(op)
+	}
+	if warmLQG {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.MonolithicLQGController(); err != nil {
+				errc <- err
+				return
+			}
+			if _, _, err := p.DecoupledLQGControllers(); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	return <-errc
 }
 
 // NewHWRuntime wires a synthesized hardware controller to the board signals.

@@ -122,15 +122,20 @@ type fixedHWSession struct {
 	rt interface {
 		Step(meas, ext, applied []float64) ([]float64, error)
 	}
+
+	// Per-step scratch buffers.
+	meas    [4]float64
+	ext     [3]float64
+	applied [4]float64
 }
 
 func (f *fixedHWSession) Step(s board.Sensors, b *board.Board, threads int) {
 	p := b.Placement()
-	meas := []float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC}
-	ext := []float64{float64(p.ThreadsBig), p.ThreadsPerBigCore, p.ThreadsPerLittleCore}
-	applied := []float64{float64(b.BigCores()), float64(b.LittleCores()),
+	f.meas = [4]float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC}
+	f.ext = [3]float64{float64(p.ThreadsBig), p.ThreadsPerBigCore, p.ThreadsPerLittleCore}
+	f.applied = [4]float64{float64(b.BigCores()), float64(b.LittleCores()),
 		b.EffectiveBigFreq(), b.EffectiveLittleFreq()}
-	if u, err := f.rt.Step(meas, ext, applied); err == nil {
+	if u, err := f.rt.Step(f.meas[:], f.ext[:], f.applied[:]); err == nil {
 		applyHW(b, u)
 	}
 }
@@ -156,14 +161,19 @@ type fixedOSSession struct {
 	rt interface {
 		Step(meas, ext, applied []float64) ([]float64, error)
 	}
+
+	// Per-step scratch buffers.
+	meas    [3]float64
+	ext     [4]float64
+	applied [3]float64
 }
 
 func (f *fixedOSSession) Step(s board.Sensors, b *board.Board, threads int) {
-	meas := []float64{s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
-	ext := []float64{float64(b.BigCores()), float64(b.LittleCores()), b.BigFreq(), b.LittleFreq()}
+	f.meas = [3]float64{s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
+	f.ext = [4]float64{float64(b.BigCores()), float64(b.LittleCores()), b.BigFreq(), b.LittleFreq()}
 	pl := b.Placement()
-	applied := []float64{float64(pl.ThreadsBig), pl.ThreadsPerBigCore, pl.ThreadsPerLittleCore}
-	if u, err := f.rt.Step(meas, ext, applied); err == nil {
+	f.applied = [3]float64{float64(pl.ThreadsBig), pl.ThreadsPerBigCore, pl.ThreadsPerLittleCore}
+	if u, err := f.rt.Step(f.meas[:], f.ext[:], f.applied[:]); err == nil {
 		applyOS(b, u, threads)
 	}
 }

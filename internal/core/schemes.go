@@ -108,10 +108,19 @@ type hwSSVSession struct {
 	// Ablation switches (normal operation leaves both false).
 	noExternals    bool // feed zeros instead of the OS layer's signals
 	noConditioning bool // do not feed the applied command back
+
+	// Per-step scratch (the control loop runs every 500 ms; see the
+	// BenchmarkControllerStep allocation budget).
+	tg      []float64
+	targets [4]float64
+	meas    [4]float64
+	ext     [3]float64
+	applied [4]float64
 }
 
 func (h *hwSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
-	tg := h.opt.Update(exdProxy(s, h.base))
+	tg := h.opt.UpdateInto(h.tg, exdProxy(s, h.base))
+	h.tg = tg
 	// Reference governor: the optimizer raises the performance target from
 	// the *measured* performance (§IV-D "keeps increasing Perf_0"), so the
 	// reference never runs far ahead of what the plant is delivering — a
@@ -125,23 +134,25 @@ func (h *hwSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
 	if cap := h.perfEMA + 3.0; perfT > cap {
 		perfT = cap
 	}
-	if err := h.rt.SetTargets([]float64{perfT, tg[1], tg[2], tempTargetC}); err != nil {
+	h.targets = [4]float64{perfT, tg[1], tg[2], tempTargetC}
+	if err := h.rt.SetTargets(h.targets[:]); err != nil {
 		return
 	}
 	p := b.Placement()
-	meas := []float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC}
-	ext := []float64{float64(p.ThreadsBig), p.ThreadsPerBigCore, p.ThreadsPerLittleCore}
+	h.meas = [4]float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC}
+	h.ext = [3]float64{float64(p.ThreadsBig), p.ThreadsPerBigCore, p.ThreadsPerLittleCore}
 	if h.noExternals {
-		ext = []float64{0, 1, 1} // pretend nothing is known about the OS layer
+		h.ext = [3]float64{0, 1, 1} // pretend nothing is known about the OS layer
 	}
 	// What the hardware actually ran at during the measured interval,
 	// including firmware throttle caps.
-	applied := []float64{float64(b.BigCores()), float64(b.LittleCores()),
+	h.applied = [4]float64{float64(b.BigCores()), float64(b.LittleCores()),
 		b.EffectiveBigFreq(), b.EffectiveLittleFreq()}
+	applied := h.applied[:]
 	if h.noConditioning {
 		applied = nil
 	}
-	u, err := h.rt.Step(meas, ext, applied)
+	u, err := h.rt.Step(h.meas[:], h.ext[:], applied)
 	if err != nil {
 		return
 	}
@@ -214,10 +225,17 @@ type osSSVSession struct {
 
 	noExternals    bool
 	noConditioning bool
+
+	// Per-step scratch buffers.
+	tg      []float64
+	meas    [3]float64
+	ext     [4]float64
+	applied [3]float64
 }
 
 func (o *osSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
-	tg := o.opt.Update(exdProxy(s, o.base))
+	tg := o.opt.UpdateInto(o.tg, exdProxy(s, o.base))
+	o.tg = tg
 	// Reference governor, as in the hardware layer: cluster performance
 	// targets track measured values instead of running open-loop ahead.
 	if !o.inited {
@@ -235,17 +253,18 @@ func (o *osSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
 	if err := o.rt.SetTargets(tg); err != nil {
 		return
 	}
-	meas := []float64{s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
-	ext := []float64{float64(b.BigCores()), float64(b.LittleCores()), b.BigFreq(), b.LittleFreq()}
+	o.meas = [3]float64{s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
+	o.ext = [4]float64{float64(b.BigCores()), float64(b.LittleCores()), b.BigFreq(), b.LittleFreq()}
 	if o.noExternals {
-		ext = []float64{2.5, 2.5, 1.1, 0.8} // mid-range guesses, no coordination
+		o.ext = [4]float64{2.5, 2.5, 1.1, 0.8} // mid-range guesses, no coordination
 	}
 	pl := b.Placement()
-	applied := []float64{float64(pl.ThreadsBig), pl.ThreadsPerBigCore, pl.ThreadsPerLittleCore}
+	o.applied = [3]float64{float64(pl.ThreadsBig), pl.ThreadsPerBigCore, pl.ThreadsPerLittleCore}
+	applied := o.applied[:]
 	if o.noConditioning {
 		applied = nil
 	}
-	u, err := o.rt.Step(meas, ext, applied)
+	u, err := o.rt.Step(o.meas[:], o.ext[:], applied)
 	if err != nil {
 		return
 	}
@@ -338,18 +357,26 @@ type monoLQGSession struct {
 	opt   *optimizer.Optimizer
 	osOpt *optimizer.Optimizer
 	base  float64
+
+	// Per-step scratch buffers.
+	tg, og  []float64
+	targets [7]float64
+	meas    [7]float64
 }
 
 func (m *monoLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
 	exd := exdProxy(s, m.base)
-	tg := m.opt.Update(exd)
-	og := m.osOpt.Update(exd)
-	if err := m.rt.SetTargets([]float64{tg[0], tg[1], tg[2], tempTargetC, og[0], og[1], og[2]}); err != nil {
+	tg := m.opt.UpdateInto(m.tg, exd)
+	m.tg = tg
+	og := m.osOpt.UpdateInto(m.og, exd)
+	m.og = og
+	m.targets = [7]float64{tg[0], tg[1], tg[2], tempTargetC, og[0], og[1], og[2]}
+	if err := m.rt.SetTargets(m.targets[:]); err != nil {
 		return
 	}
-	meas := []float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC,
+	m.meas = [7]float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC,
 		s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
-	u, err := m.rt.Step(meas, nil)
+	u, err := m.rt.Step(m.meas[:], nil)
 	if err != nil {
 		return
 	}
@@ -360,7 +387,7 @@ func (m *monoLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
 // MonolithicLQG is the single-controller LQG scheme of §VI-B.
 func (p *Platform) MonolithicLQG() Scheme {
 	return Scheme{Name: NameMonoLQG, New: func() (Session, error) {
-		ctl, err := p.SynthesizeMonolithicLQG()
+		ctl, err := p.MonolithicLQGController()
 		if err != nil {
 			return nil, fmt.Errorf("core: monolithic LQG synthesis: %w", err)
 		}
@@ -385,24 +412,33 @@ type decoupLQGSession struct {
 	hwOpt  *optimizer.Optimizer
 	osOpt  *optimizer.Optimizer
 	base   float64
+
+	// Per-step scratch buffers.
+	tg, og    []float64
+	hwTargets [4]float64
+	hwMeas    [4]float64
+	osMeas    [3]float64
 }
 
 func (d *decoupLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
 	exd := exdProxy(s, d.base)
-	tg := d.hwOpt.Update(exd)
-	if err := d.hw.SetTargets([]float64{tg[0], tg[1], tg[2], tempTargetC}); err != nil {
+	tg := d.hwOpt.UpdateInto(d.tg, exd)
+	d.tg = tg
+	d.hwTargets = [4]float64{tg[0], tg[1], tg[2], tempTargetC}
+	if err := d.hw.SetTargets(d.hwTargets[:]); err != nil {
 		return
 	}
-	meas := []float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC}
-	if u, err := d.hw.Step(meas, nil); err == nil {
+	d.hwMeas = [4]float64{s.BIPS, s.BigPowerW, s.LittlePowerW, s.TempC}
+	if u, err := d.hw.Step(d.hwMeas[:], nil); err == nil {
 		applyHW(b, u)
 	}
-	og := d.osOpt.Update(exd)
+	og := d.osOpt.UpdateInto(d.og, exd)
+	d.og = og
 	if err := d.os.SetTargets(og); err != nil {
 		return
 	}
-	osMeas := []float64{s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
-	if u, err := d.os.Step(osMeas, nil); err == nil {
+	d.osMeas = [3]float64{s.BIPSLittle, s.BIPSBig, deltaSpareCompute(b, threads)}
+	if u, err := d.os.Step(d.osMeas[:], nil); err == nil {
 		applyOS(b, u, threads)
 	}
 }
@@ -410,7 +446,7 @@ func (d *decoupLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
 // DecoupledLQG is the two-independent-LQG scheme of §VI-B.
 func (p *Platform) DecoupledLQG() Scheme {
 	return Scheme{Name: NameDecoupLQG, New: func() (Session, error) {
-		hwCtl, osCtl, err := p.SynthesizeDecoupledLQG()
+		hwCtl, osCtl, err := p.DecoupledLQGControllers()
 		if err != nil {
 			return nil, err
 		}

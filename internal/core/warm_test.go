@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"yukta/internal/robust"
+)
+
+// TestWarmCachesConcurrentSingleFlight drives concurrent controller synthesis
+// through WarmCaches and the validated-cache accessors at the same time, on a
+// knob set no other test touches (so the cache entries are cold). Under
+// -race this exercises the single-flight caches; functionally it checks that
+// every caller gets the same controller instance — the synthesis ran once.
+func TestWarmCachesConcurrentSingleFlight(t *testing.T) {
+	p := testPlatform(t)
+	hp := DefaultHWParams()
+	hp.PerfBoundFrac *= 1.5
+	hp.CriticalBoundFrac *= 1.5
+	op := DefaultOSParams()
+	op.BoundFrac *= 1.5
+
+	const g = 4
+	var wg sync.WaitGroup
+	hws := make([]*robust.Controller, g)
+	oss := make([]*robust.Controller, g)
+	errs := make([]error, 2*g)
+	for i := 0; i < g; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.WarmCaches([]HWParams{hp}, []OSParams{op}, false)
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			hw, err := p.HWControllerValidated(hp)
+			if err != nil {
+				errs[g+i] = err
+				return
+			}
+			os, err := p.OSControllerValidated(op)
+			if err != nil {
+				errs[g+i] = err
+				return
+			}
+			hws[i], oss[i] = hw, os
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	for i := 1; i < g; i++ {
+		if hws[i] != hws[0] {
+			t.Errorf("HW controller synthesized more than once: %p vs %p", hws[i], hws[0])
+		}
+		if oss[i] != oss[0] {
+			t.Errorf("OS controller synthesized more than once: %p vs %p", oss[i], oss[0])
+		}
+	}
+	// The warmed entries must be the ones the accessors hand out.
+	hw, err := p.HWControllerValidated(hp)
+	if err != nil || hw != hws[0] {
+		t.Errorf("post-warm accessor returned %p (err %v), want cached %p", hw, err, hws[0])
+	}
+}
+
+// TestLQGControllerCaches checks the single-flight LQG accessors return
+// stable instances.
+func TestLQGControllerCaches(t *testing.T) {
+	p := testPlatform(t)
+	m1, err := p.MonolithicLQGController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p.MonolithicLQGController()
+	if err != nil || m1 != m2 {
+		t.Errorf("monolithic LQG cache returned distinct instances (%p, %p, err %v)", m1, m2, err)
+	}
+	h1, o1, err := p.DecoupledLQGControllers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, o2, err := p.DecoupledLQGControllers()
+	if err != nil || h1 != h2 || o1 != o2 {
+		t.Errorf("decoupled LQG cache returned distinct instances")
+	}
+}

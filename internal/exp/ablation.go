@@ -37,21 +37,39 @@ func (c *Context) AblationReport(apps []string) (*Ablation, error) {
 		c.P.YuktaFullAblated("no external signals", true, false),
 		c.P.YuktaFullAblated("no self-conditioning", false, true),
 	}
+	if c.workers() > 1 {
+		if err := c.warmSchemes(variants); err != nil {
+			return nil, err
+		}
+	}
+	grid := make([]float64, len(variants)*len(apps))
+	err := forEach(c.workers(), len(grid), func(i int) error {
+		sch := variants[i/len(apps)]
+		app := apps[i%len(apps)]
+		w, err := workload.Lookup(app)
+		if err != nil {
+			return err
+		}
+		res, err := core.Run(c.P.Cfg, sch, w, runOpts())
+		if err != nil {
+			return fmt.Errorf("exp: ablation %q on %s: %w", sch.Name, app, err)
+		}
+		grid[i] = res.ExD
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Sum in the sequential nesting order so the float totals (and therefore
+	// the reported ratios) do not depend on worker scheduling.
 	totals := make([]float64, len(variants))
 	out := &Ablation{IntactExDperApp: map[string]float64{}}
-	for vi, sch := range variants {
-		for _, app := range apps {
-			w, err := workload.Lookup(app)
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.Run(c.P.Cfg, sch, w, runOpts())
-			if err != nil {
-				return nil, fmt.Errorf("exp: ablation %q on %s: %w", sch.Name, app, err)
-			}
-			totals[vi] += res.ExD
+	for vi := range variants {
+		for ai, app := range apps {
+			exd := grid[vi*len(apps)+ai]
+			totals[vi] += exd
 			if vi == 0 {
-				out.IntactExDperApp[app] = res.ExD
+				out.IntactExDperApp[app] = exd
 			}
 		}
 	}

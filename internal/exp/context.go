@@ -20,16 +20,27 @@ import (
 // its cached, validated controllers.
 type Context struct {
 	P *core.Platform
+
+	// Parallelism is the worker count used to fan independent (scheme, app)
+	// simulations across goroutines; 0 means runtime.NumCPU(), 1 runs
+	// sequentially. Results are always assembled in the sequential order, so
+	// rendered figures are identical at any setting.
+	Parallelism int
 }
 
 // NewContext builds the platform (identification plus model fitting) with
 // the default options.
 func NewContext() (*Context, error) {
+	return NewContextWithOptions(Options{})
+}
+
+// NewContextWithOptions builds the platform and applies harness options.
+func NewContextWithOptions(opt Options) (*Context, error) {
 	p, err := core.NewPlatform(board.DefaultConfig(), core.DefaultIdentifyOptions())
 	if err != nil {
 		return nil, err
 	}
-	return &Context{P: p}, nil
+	return &Context{P: p, Parallelism: opt.Parallelism}, nil
 }
 
 // DefaultHWParamsForBench re-exports the Table II defaults for the

@@ -172,42 +172,52 @@ func (c *Context) optimizerSettle(sch core.Scheme) (int, error) {
 	return n, nil
 }
 
-// ConvergenceReport measures the §VI-B response-time comparison.
+// ConvergenceReport measures the §VI-B response-time comparison. The four
+// measurements are independent (each runs on its own board), so they fan
+// out across the worker pool; each job writes its own field of the report.
 func (c *Context) ConvergenceReport() (*Convergence, error) {
 	out := &Convergence{}
-
-	// Power-step response: SSV hardware controller.
-	ssvCtl, err := c.P.HWControllerValidated(core.DefaultHWParams())
-	if err != nil {
-		return nil, err
+	jobs := []func() error{
+		// Power-step response: SSV hardware controller.
+		func() error {
+			ssvCtl, err := c.P.HWControllerValidated(core.DefaultHWParams())
+			if err != nil {
+				return err
+			}
+			ssvRT, err := c.P.NewHWRuntime(ssvCtl)
+			if err != nil {
+				return err
+			}
+			out.SSVStepIntervals, err = c.measureStep(ssvRT, true)
+			return err
+		},
+		// Power-step response: decoupled hardware LQG (no external signals).
+		func() error {
+			lqgHW, _, err := c.P.DecoupledLQGControllers()
+			if err != nil {
+				return err
+			}
+			lqgRT, err := c.P.NewDecoupledHWLQGRuntime(lqgHW)
+			if err != nil {
+				return err
+			}
+			out.LQGStepIntervals, err = c.measureStep(lqgStepAdapter{rt: lqgRT}, false)
+			return err
+		},
+		// Optimizer settling: full Yukta vs monolithic LQG.
+		func() error {
+			var err error
+			out.SSVOptimizerIntervals, err = c.optimizerSettle(
+				c.P.YuktaFullSSV(core.DefaultHWParams(), core.DefaultOSParams()))
+			return err
+		},
+		func() error {
+			var err error
+			out.LQGOptimizerIntervals, err = c.optimizerSettle(c.P.MonolithicLQG())
+			return err
+		},
 	}
-	ssvRT, err := c.P.NewHWRuntime(ssvCtl)
-	if err != nil {
-		return nil, err
-	}
-	if out.SSVStepIntervals, err = c.measureStep(ssvRT, true); err != nil {
-		return nil, err
-	}
-
-	// Power-step response: decoupled hardware LQG (no external signals).
-	lqgHW, _, err := c.P.SynthesizeDecoupledLQG()
-	if err != nil {
-		return nil, err
-	}
-	lqgRT, err := c.P.NewDecoupledHWLQGRuntime(lqgHW)
-	if err != nil {
-		return nil, err
-	}
-	if out.LQGStepIntervals, err = c.measureStep(lqgStepAdapter{rt: lqgRT}, false); err != nil {
-		return nil, err
-	}
-
-	// Optimizer settling: full Yukta vs monolithic LQG.
-	if out.SSVOptimizerIntervals, err = c.optimizerSettle(
-		c.P.YuktaFullSSV(core.DefaultHWParams(), core.DefaultOSParams())); err != nil {
-		return nil, err
-	}
-	if out.LQGOptimizerIntervals, err = c.optimizerSettle(c.P.MonolithicLQG()); err != nil {
+	if err := forEach(c.workers(), len(jobs), func(i int) error { return jobs[i]() }); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -41,7 +41,11 @@ func (c *Context) allSchemes() []core.Scheme {
 }
 
 // runMatrix executes every scheme on every app and fills two BarSets (E×D
-// and execution time).
+// and execution time). The (scheme, app) runs are independent — each gets a
+// fresh board and its own workload from the loader — so they fan out across
+// the context's worker pool; results land in an index-addressed slice and
+// are assembled in the sequential nesting order, keeping the rendered
+// tables byte-identical at any parallelism.
 func (c *Context) runMatrix(title string, schemes []core.Scheme, apps []string,
 	loader func(string) (workload.Workload, error)) (exd, times *BarSet, err error) {
 
@@ -53,20 +57,37 @@ func (c *Context) runMatrix(title string, schemes []core.Scheme, apps []string,
 		Values: map[string]map[string]float64{}}
 	times = &BarSet{Title: title + " execution time", Metric: "seconds", Apps: apps, Schemes: names,
 		Values: map[string]map[string]float64{}}
-	for _, sch := range schemes {
+	if c.workers() > 1 {
+		if err := c.warmSchemes(schemes); err != nil {
+			return nil, nil, err
+		}
+	}
+	type cell struct{ exd, time float64 }
+	results := make([]cell, len(schemes)*len(apps))
+	err = forEach(c.workers(), len(results), func(i int) error {
+		sch := schemes[i/len(apps)]
+		app := apps[i%len(apps)]
+		w, err := loader(app)
+		if err != nil {
+			return err
+		}
+		res, err := core.Run(c.P.Cfg, sch, w, runOpts())
+		if err != nil {
+			return fmt.Errorf("exp: %s on %s: %w", sch.Name, app, err)
+		}
+		results[i] = cell{exd: res.ExD, time: res.TimeS}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, sch := range schemes {
 		exd.Values[sch.Name] = map[string]float64{}
 		times.Values[sch.Name] = map[string]float64{}
-		for _, app := range apps {
-			w, err := loader(app)
-			if err != nil {
-				return nil, nil, err
-			}
-			res, err := core.Run(c.P.Cfg, sch, w, runOpts())
-			if err != nil {
-				return nil, nil, fmt.Errorf("exp: %s on %s: %w", sch.Name, app, err)
-			}
-			exd.Values[sch.Name][app] = res.ExD
-			times.Values[sch.Name][app] = res.TimeS
+		for ai, app := range apps {
+			r := results[si*len(apps)+ai]
+			exd.Values[sch.Name][app] = r.exd
+			times.Values[sch.Name][app] = r.time
 		}
 	}
 	return exd, times, nil
@@ -104,17 +125,30 @@ func (c *Context) traceFigure(title string, schemes []core.Scheme,
 	pick func(*core.RunResult) *series.Series) (*TraceSet, error) {
 
 	out := &TraceSet{Title: title, Series: map[string]*series.Series{}}
-	for _, sch := range schemes {
+	if c.workers() > 1 {
+		if err := c.warmSchemes(schemes); err != nil {
+			return nil, err
+		}
+	}
+	traces := make([]*series.Series, len(schemes))
+	err := forEach(c.workers(), len(schemes), func(i int) error {
 		w, err := workload.Lookup("blackscholes")
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := core.Run(c.P.Cfg, sch, w, runOpts())
+		res, err := core.Run(c.P.Cfg, schemes[i], w, runOpts())
 		if err != nil {
-			return nil, err
+			return err
 		}
+		traces[i] = pick(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sch := range schemes {
 		out.Order = append(out.Order, sch.Name)
-		out.Series[sch.Name] = pick(res)
+		out.Series[sch.Name] = traces[i]
 	}
 	return out, nil
 }
@@ -144,7 +178,10 @@ func (c *Context) Fig14() (*BarSet, error) {
 		if !ok {
 			return nil, fmt.Errorf("exp: unknown mix %q", name)
 		}
-		return m, nil
+		// Clone per run: handing out the shared *Mix would let every scheme
+		// (and, under the worker pool, concurrent runs) advance the same
+		// progress state.
+		return m.Clone(), nil
 	}
 	exd, _, err := c.runMatrix("Figure 14 (heterogeneous mixes)", c.allSchemes(), apps, loader)
 	return exd, err

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"yukta/internal/core"
+)
+
+// Options configures the experiment harness.
+type Options struct {
+	// Parallelism is the number of worker goroutines the drivers use to fan
+	// independent (scheme, app) simulations out. 0 means runtime.NumCPU();
+	// 1 runs every experiment sequentially.
+	Parallelism int
+}
+
+// workers resolves the context's parallelism setting to a concrete count.
+func (c *Context) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// forEach runs fn(0) … fn(n-1) on up to workers goroutines and waits for all
+// of them. Each simulation is independent (fresh board, fresh workload clone,
+// per-board seeded RNG), so callers write results into index i of a
+// preallocated slice and assemble them in the original order afterwards —
+// the rendered tables come out byte-identical to a sequential run.
+//
+// Error handling is deterministic too: every job's error is recorded per
+// index and the lowest-index failure is returned, regardless of which worker
+// hit an error first. After any failure the remaining unstarted jobs are
+// skipped.
+func forEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// warmSchemes builds one session per scheme concurrently before the run
+// matrix fans out. Controller synthesis is the expensive part of a session
+// and is single-flighted in the Platform caches, so without this step every
+// worker that picks up the first scheme's jobs would block on the same
+// cache entry; warming instead synthesizes the distinct controllers in
+// parallel, once each.
+func (c *Context) warmSchemes(schemes []core.Scheme) error {
+	return forEach(c.workers(), len(schemes), func(i int) error {
+		if _, err := schemes[i].New(); err != nil {
+			return fmt.Errorf("exp: warming scheme %q: %w", schemes[i].Name, err)
+		}
+		return nil
+	})
+}

@@ -52,28 +52,38 @@ func boundsVariants() []struct {
 func (c *Context) Fig15a() (*TraceSet, error) {
 	out := &TraceSet{Title: "Figure 15(a): fixed-target tracking, blackscholes (target 5.5 BIPS)",
 		Series: map[string]*series.Series{}}
-	for _, v := range boundsVariants() {
+	vs := boundsVariants()
+	traces := make([]*series.Series, len(vs))
+	err := forEach(c.workers(), len(vs), func(i int) error {
+		v := vs[i]
 		hw, err := c.P.NewFixedHWSession(v.HW, []float64{5.5, 2.5, 0.2, 70})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		os, err := c.P.NewFixedOSSession(v.OS, []float64{1, 4.5, 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sch := core.Scheme{Name: v.Label, New: func() (core.Session, error) {
 			return &core.FixedTargetSession{HW: hw, OS: os}, nil
 		}}
 		w, err := workload.Lookup("blackscholes")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.Run(c.P.Cfg, sch, w, core.RunOptions{MaxTime: 500 * time.Second})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		traces[i] = res.Perf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vs {
 		out.Order = append(out.Order, v.Label)
-		out.Series[v.Label] = res.Perf
+		out.Series[v.Label] = traces[i]
 	}
 	return out, nil
 }
@@ -110,9 +120,10 @@ type GuardbandPoint struct {
 // Fig16a reproduces Figure 16(a): how the guaranteed output deviation
 // bounds grow as the uncertainty guardband increases from the default ±40%.
 func (c *Context) Fig16a() ([]GuardbandPoint, error) {
-	var out []GuardbandPoint
-	var ref float64
-	for _, gb := range []float64{0.4, 1.0, 1.5, 2.5, 5.0} {
+	gbs := []float64{0.4, 1.0, 1.5, 2.5, 5.0}
+	out := make([]GuardbandPoint, len(gbs))
+	err := forEach(c.workers(), len(gbs), func(i int) error {
+		gb := gbs[i]
 		hp := core.DefaultHWParams()
 		hp.Uncertainty = gb
 		// Hold the controller's aggressiveness (W, B) fixed at the default
@@ -121,18 +132,26 @@ func (c *Context) Fig16a() ([]GuardbandPoint, error) {
 		// sweep.
 		ctl, err := c.P.DesignHWAtPenalty(hp, 1)
 		if err != nil {
-			return nil, fmt.Errorf("exp: guardband %.0f%%: %w", gb*100, err)
+			return fmt.Errorf("exp: guardband %.0f%%: %w", gb*100, err)
 		}
-		g := ctl.Report.GuaranteedBounds[0]
-		if ref == 0 {
-			ref = g
-		}
-		out = append(out, GuardbandPoint{
+		out[i] = GuardbandPoint{
 			Guardband:    gb,
-			BoundsGrowth: g / ref,
+			BoundsGrowth: ctl.Report.GuaranteedBounds[0],
 			SSV:          ctl.Report.SSV,
 			Penalty:      ctl.Report.ControlPenalty,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Normalize to the first (default-guardband) design after all points are
+	// in, so the reference does not depend on completion order.
+	ref := out[0].BoundsGrowth
+	if ref != 0 {
+		for i := range out {
+			out[i].BoundsGrowth /= ref
+		}
 	}
 	return out, nil
 }
@@ -161,16 +180,20 @@ func (c *Context) Fig16b(apps []string) (*BarSet, error) {
 func (c *Context) Fig17() (*TraceSet, error) {
 	out := &TraceSet{Title: "Figure 17: big-cluster power (W) tracking 2.5 W, by input weight",
 		Series: map[string]*series.Series{}}
-	for _, w := range []float64{0.5, 1, 2} {
+	weights := []float64{0.5, 1, 2}
+	labels := make([]string, len(weights))
+	traces := make([]*series.Series, len(weights))
+	err := forEach(c.workers(), len(weights), func(i int) error {
+		w := weights[i]
 		hp := core.DefaultHWParams()
 		hp.InputWeight = w
 		hw, err := c.P.NewFixedHWSession(hp, []float64{5.5, 2.5, 0.2, 70})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		os, err := c.P.NewFixedOSSession(core.DefaultOSParams(), []float64{1, 4.5, 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		label := fmt.Sprintf("input weights %.1f", w)
 		sch := core.Scheme{Name: label, New: func() (core.Session, error) {
@@ -178,14 +201,22 @@ func (c *Context) Fig17() (*TraceSet, error) {
 		}}
 		wk, err := workload.Lookup("blackscholes")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.Run(c.P.Cfg, sch, wk, core.RunOptions{MaxTime: 500 * time.Second})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Order = append(out.Order, label)
-		out.Series[label] = res.BigPower
+		labels[i] = label
+		traces[i] = res.BigPower
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range weights {
+		out.Order = append(out.Order, labels[i])
+		out.Series[labels[i]] = traces[i]
 	}
 	return out, nil
 }

@@ -31,6 +31,9 @@ type Runtime struct {
 
 	wastedSteps int
 	totalSteps  int
+
+	// Per-step scratch buffers so the 500 ms control loop does not allocate.
+	dy, u, du, ax, bdy, phys []float64
 }
 
 // Config wires the controller to its physical signals; identical shape to
@@ -67,6 +70,12 @@ func New(cfg Config) (*Runtime, error) {
 		levels:   cfg.InputLevels,
 		state:    make([]float64, c.K.Order()),
 		targets:  make([]float64, c.NumOut),
+		dy:       make([]float64, c.NumOut+c.NumExt),
+		u:        make([]float64, c.NumCtrl),
+		du:       make([]float64, c.NumCtrl),
+		ax:       make([]float64, c.K.Order()),
+		bdy:      make([]float64, c.K.Order()),
+		phys:     make([]float64, c.NumCtrl),
 	}, nil
 }
 
@@ -84,30 +93,33 @@ func (r *Runtime) SetTargets(phys []float64) error {
 // Step runs one control interval. The returned inputs are physical values
 // rounded to the nearest allowed level — but, unlike the SSV runtime, the
 // controller state evolves as if the unbounded command had been applied.
+//
+// The returned slice is a per-runtime scratch buffer, valid until the next
+// Step call; callers that need to keep it must copy.
 func (r *Runtime) Step(measurements, externals []float64) ([]float64, error) {
 	c := r.ctl
 	if len(measurements) != c.NumOut || len(externals) != c.NumExt {
 		return nil, fmt.Errorf("lqgctl: arity mismatch (%d meas, %d ext)", len(measurements), len(externals))
 	}
-	dy := make([]float64, c.NumOut+c.NumExt)
+	dy := r.dy
 	for i, m := range measurements {
 		dy[i] = r.outScale[i].Normalize(m) - r.targets[i]
 	}
 	for i, e := range externals {
 		dy[c.NumOut+i] = r.extScale[i].Normalize(e)
 	}
-	u := c.K.C.MulVec(r.state)
-	du := c.K.D.MulVec(dy)
+	u := c.K.C.MulVecTo(r.u, r.state)
+	du := c.K.D.MulVecTo(r.du, dy)
 	for i := range u {
 		u[i] += du[i]
 	}
-	ax := c.K.A.MulVec(r.state)
-	bdy := c.K.B.MulVec(dy)
+	ax := c.K.A.MulVecTo(r.ax, r.state)
+	bdy := c.K.B.MulVecTo(r.bdy, dy)
 	for i := range ax {
 		r.state[i] = ax[i] + bdy[i]
 	}
 
-	phys := make([]float64, c.NumCtrl)
+	phys := r.phys
 	wasted := false
 	for i := range phys {
 		raw := r.inScale[i].Denormalize(u[i])

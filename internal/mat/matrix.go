@@ -199,19 +199,30 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 
 // MulVec returns m*v as a new slice of length m.Rows().
 func (m *Matrix) MulVec(v []float64) []float64 {
+	return m.MulVecTo(make([]float64, m.rows), v)
+}
+
+// MulVecTo computes m*v into dst, which must not alias v, and returns it.
+// dst is grown when its capacity is insufficient; passing a reusable scratch
+// slice makes repeated products allocation-free — the 500 ms control loop
+// steps controller state machines through this path.
+func (m *Matrix) MulVecTo(dst, v []float64) []float64 {
 	if m.cols != len(v) {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", m.rows, m.cols, len(v)))
 	}
-	out := make([]float64, m.rows)
+	if cap(dst) < m.rows {
+		dst = make([]float64, m.rows)
+	}
+	dst = dst[:m.rows]
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, rv := range row {
 			s += rv * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 func (m *Matrix) sameShape(b *Matrix, op string) {

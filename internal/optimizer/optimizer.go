@@ -89,6 +89,14 @@ func (o *Optimizer) Moves() int { return o.moves }
 // Power/Perf², which is proportional to E×D) and returns the targets for the
 // next interval — usually unchanged, moving only after the settle period.
 func (o *Optimizer) Update(exd float64) []float64 {
+	return o.UpdateInto(make([]float64, len(o.targets)), exd)
+}
+
+// UpdateInto is Update writing the next targets into dst (grown if needed)
+// instead of allocating; sessions call it every control interval with a
+// per-session scratch slice. The returned slice is dst, safe for the caller
+// to modify.
+func (o *Optimizer) UpdateInto(dst []float64, exd float64) []float64 {
 	if !o.emaInit {
 		o.ema = exd
 		o.emaInit = true
@@ -98,7 +106,7 @@ func (o *Optimizer) Update(exd float64) []float64 {
 	}
 	o.tick++
 	if o.tick < o.cfg.SettleIntervals {
-		return o.Targets()
+		return o.targetsInto(dst)
 	}
 	o.tick = 0
 
@@ -141,7 +149,17 @@ func (o *Optimizer) Update(exd float64) []float64 {
 		o.dirUp = !o.dirUp
 	}
 	o.moves++
-	return o.Targets()
+	return o.targetsInto(dst)
+}
+
+// targetsInto copies the current targets into dst, growing it if needed.
+func (o *Optimizer) targetsInto(dst []float64) []float64 {
+	if cap(dst) < len(o.targets) {
+		dst = make([]float64, len(o.targets))
+	}
+	dst = dst[:len(o.targets)]
+	copy(dst, o.targets)
+	return dst
 }
 
 func clampAll(v, lo, hi []float64) []float64 {

@@ -50,6 +50,14 @@ type Runtime struct {
 
 	opsPerStep int
 	bytesState int
+
+	// Per-step scratch buffers: Step runs every 500 ms control interval of
+	// every simulated run, so the hot loop reuses these instead of
+	// allocating (steady-state Step is allocation-free).
+	dy, u, du      []float64
+	ax, bdy, nextX []float64
+	phys, diff     []float64
+	corr           []float64
 }
 
 // Config wires a synthesized controller to its physical signals.
@@ -112,6 +120,17 @@ func New(cfg Config) (*Runtime, error) {
 		// Multiply-accumulate count of equations (3)-(4): the §VI-D cost.
 		opsPerStep: 2 * (n*n + n*(no+ne) + ni*n + ni*(no+ne)),
 		bytesState: 8 * (n*n + n*(no+ne) + ni*n + ni*(no+ne) + n),
+
+		dy:      make([]float64, c.K.Inputs()),
+		u:       make([]float64, ni),
+		du:      make([]float64, ni),
+		ax:      make([]float64, n),
+		bdy:     make([]float64, n),
+		nextX:   make([]float64, n),
+		phys:    make([]float64, ni),
+		diff:    make([]float64, ni),
+		corr:    make([]float64, c.IntCount),
+		lastRaw: make([]float64, ni),
 	}
 	// Integrator back-calculation gain: the integrator block contributes
 	// Ki = -C[:, IntStart:IntStart+IntCount] to the command, and because
@@ -163,6 +182,9 @@ func (r *Runtime) Targets() []float64 {
 // overrides can wind the controller up or blind it to why its command had
 // no effect. Pass nil to fall back to the controller's own quantized
 // command.
+//
+// The returned slice is a per-runtime scratch buffer, valid until the next
+// Step call; callers that need to keep it must copy.
 func (r *Runtime) Step(measurements, externals, applied []float64) ([]float64, error) {
 	c := r.ctl
 	if len(measurements) != c.NumOut {
@@ -177,8 +199,7 @@ func (r *Runtime) Step(measurements, externals, applied []float64) ([]float64, e
 	// Build the input vector: normalized deviations, then externals, then —
 	// for self-conditioned realizations — the applied command (filled in
 	// after quantization).
-	nin := c.K.Inputs()
-	dy := make([]float64, nin)
+	dy := r.dy
 	for i, m := range measurements {
 		dy[i] = r.outScale[i].Normalize(m) - r.targets[i]
 	}
@@ -187,8 +208,8 @@ func (r *Runtime) Step(measurements, externals, applied []float64) ([]float64, e
 	}
 
 	// u = C x + D Δy.
-	u := c.K.C.MulVec(r.state)
-	du := c.K.D.MulVec(dy)
+	u := c.K.C.MulVecTo(r.u, r.state)
+	du := c.K.D.MulVecTo(r.du, dy)
 	for i := range u {
 		u[i] += du[i]
 	}
@@ -211,10 +232,12 @@ func (r *Runtime) Step(measurements, externals, applied []float64) ([]float64, e
 		r.haveU = true
 	}
 	r.step++
-	phys := make([]float64, c.NumCtrl)
-	diff := make([]float64, c.NumCtrl) // range-clamp excess, normalized
+	phys := r.phys
+	diff := r.diff // range-clamp excess, normalized
+	for i := range diff {
+		diff[i] = 0
+	}
 	saturated := false
-	r.lastRaw = make([]float64, c.NumCtrl)
 	for i := range phys {
 		raw := r.inScale[i].Denormalize(u[i])
 		r.lastRaw[i] = raw
@@ -267,9 +290,9 @@ func (r *Runtime) Step(measurements, externals, applied []float64) ([]float64, e
 			dy[c.NumOut+c.NumExt+i] = r.inScale[i].Normalize(v)
 		}
 	}
-	ax := c.K.A.MulVec(r.state)
-	bdy := c.K.B.MulVec(dy)
-	next := make([]float64, len(ax))
+	ax := c.K.A.MulVecTo(r.ax, r.state)
+	bdy := c.K.B.MulVecTo(r.bdy, dy)
+	next := r.nextX
 	for i := range ax {
 		next[i] = ax[i] + bdy[i]
 	}
@@ -280,12 +303,12 @@ func (r *Runtime) Step(measurements, externals, applied []float64) ([]float64, e
 	// undisturbed.
 	if saturated && r.intInv != nil {
 		// u = -Ki xi, so moving the command by diff needs Δxi = -Ki^+ diff.
-		corr := r.intInv.MulVec(diff)
+		corr := r.intInv.MulVecTo(r.corr, diff)
 		for i := 0; i < c.IntCount; i++ {
 			next[c.IntStart+i] -= corr[i]
 		}
 	}
-	r.state = next
+	r.state, r.nextX = next, r.state
 
 	// Guardband monitor: if deviations persistently exceed the guaranteed
 	// bounds, the modeled uncertainty has been exhausted.

@@ -175,6 +175,12 @@ func NewMix(name string, apps ...*App) *Mix {
 	return &Mix{name: name, apps: cl}
 }
 
+// Clone returns a fresh (reset) copy of the mix with no shared state, so
+// concurrent runs of the same named mix never advance each other's progress.
+func (m *Mix) Clone() *Mix {
+	return NewMix(m.name, m.apps...)
+}
+
 // Name returns the mix name.
 func (m *Mix) Name() string { return m.name }
 
