@@ -9,6 +9,8 @@
 //	yukta-bench -table 2          # Table II
 //	yukta-bench -all              # everything (long)
 //	yukta-bench -csv out/         # also dump time-series CSVs for trace figures
+//	yukta-bench -faults           # robustness sweep: E×D degradation vs fault intensity
+//	yukta-bench -faults -quick -faultseed 7
 package main
 
 import (
@@ -30,8 +32,10 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		quick    = flag.Bool("quick", false, "use a representative 4-app subset for suite figures")
 		list     = flag.Bool("list", false, "list available artifacts")
-		csvDir   = flag.String("csv", "", "directory to dump time-series CSVs for trace figures")
-		parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = NumCPU, 1 = sequential)")
+		csvDir    = flag.String("csv", "", "directory to dump time-series CSVs for trace figures")
+		parallel  = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = NumCPU, 1 = sequential)")
+		faults    = flag.Bool("faults", false, "run the robustness sweep (scheme × fault-intensity degradation table)")
+		faultSeed = flag.Int64("faultseed", 1, "base seed of the injected fault campaign")
 	)
 	flag.Parse()
 
@@ -55,7 +59,7 @@ func main() {
 		}
 		return
 	}
-	if *fig == "" && !*all {
+	if *fig == "" && !*all && !*faults {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -66,9 +70,20 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "building platform (identification + model fitting + controller synthesis)...")
-	ctx, err := exp.NewContextWithOptions(exp.Options{Parallelism: *parallel})
+	ctx, err := exp.NewContextWithOptions(exp.Options{Parallelism: *parallel, Seed: *faultSeed})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *faults {
+		rt, err := ctx.RobustnessSweep(apps, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rt.Render())
+		if *fig == "" && !*all {
+			return
+		}
 	}
 
 	want := func(name string) bool { return *all || *fig == name }

@@ -1,0 +1,138 @@
+package yukta
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// doclintPackages are the packages whose exported API must be fully
+// documented: the public facade and the packages the fault-injection work
+// turned into extension points.
+var doclintPackages = []string{
+	"control",
+	"internal/board",
+	"internal/fault",
+}
+
+// TestExportedIdentifiersDocumented fails on any exported identifier —
+// top-level function, type, method, const/var, struct field or interface
+// method — in doclintPackages that lacks a doc comment. It is a stdlib-only
+// substitute for a godoc linter, so the documentation pass cannot rot
+// silently.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	for _, dir := range doclintPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, filepath.FromSlash(dir), func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				lintFile(t, fset, file)
+			}
+		}
+	}
+}
+
+// hasDoc reports whether a doc comment group carries any text.
+func hasDoc(g *ast.CommentGroup) bool { return g != nil && strings.TrimSpace(g.Text()) != "" }
+
+// lintFile reports every undocumented exported identifier in one file.
+func lintFile(t *testing.T, fset *token.FileSet, file *ast.File) {
+	t.Helper()
+	report := func(pos token.Pos, what, name string) {
+		t.Errorf("%s: %s %s is exported but undocumented", fset.Position(pos), what, name)
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if !hasDoc(d.Doc) {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					if !hasDoc(s.Doc) && !hasDoc(d.Doc) {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+					lintTypeBody(t, fset, s)
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if !name.IsExported() {
+							continue
+						}
+						if !hasDoc(s.Doc) && !hasDoc(s.Comment) && !hasDoc(d.Doc) {
+							report(name.Pos(), "const/var", name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// lintTypeBody checks exported struct fields and interface methods of an
+// exported type.
+func lintTypeBody(t *testing.T, fset *token.FileSet, s *ast.TypeSpec) {
+	t.Helper()
+	report := func(pos token.Pos, what, name string) {
+		t.Errorf("%s: %s %s.%s is exported but undocumented", fset.Position(pos), what, s.Name.Name, name)
+	}
+	switch body := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range body.Fields.List {
+			for _, name := range f.Names {
+				if name.IsExported() && !hasDoc(f.Doc) && !hasDoc(f.Comment) {
+					report(name.Pos(), "field", name.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range body.Methods.List {
+			for _, name := range m.Names {
+				if name.IsExported() && !hasDoc(m.Doc) && !hasDoc(m.Comment) {
+					report(name.Pos(), "interface method", name.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a declaration is a plain function or a
+// method on an exported type (methods on unexported types are not API).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch v := typ.(type) {
+		case *ast.StarExpr:
+			typ = v.X
+		case *ast.IndexExpr:
+			typ = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -14,13 +14,16 @@ import (
 // and the average number of threads packed onto each non-idle core of each
 // cluster (paper Table III).
 type Placement struct {
+	// ThreadsBig is the number of threads assigned to the big cluster.
 	ThreadsBig int
 	// ThreadsLittle records the OS layer's intent for the little cluster;
 	// the physics derives the actual little-cluster load from the workload's
 	// runnable threads minus ThreadsBig, but hardware controllers read this
 	// field as the coordination signal.
-	ThreadsLittle        int
-	ThreadsPerBigCore    float64
+	ThreadsLittle int
+	// ThreadsPerBigCore is the average thread packing per busy big core.
+	ThreadsPerBigCore float64
+	// ThreadsPerLittleCore is the average packing per busy little core.
 	ThreadsPerLittleCore float64
 }
 
@@ -29,12 +32,16 @@ type Placement struct {
 // perf-counter instruction rates accumulated since the previous control
 // invocation.
 type Sensors struct {
+	// TimeS is the simulated wall-clock time of the reading, in seconds.
 	TimeS float64
 
 	// BigPowerW and LittlePowerW are the held values of the power sensors
-	// (they update every Config.PowerSensorPeriod).
+	// (they update every Config.PowerSensorPeriod). Under fault injection a
+	// dropped reading is reported as NaN and a stale reading repeats an
+	// earlier window's value.
 	BigPowerW, LittlePowerW float64
 
+	// TempC is the hot-spot temperature reading in °C.
 	TempC float64
 
 	// BIPS values are derived from performance counters over the last
@@ -47,6 +54,35 @@ type Sensors struct {
 
 	// EmergencyEvents counts firmware emergency activations so far.
 	EmergencyEvents int
+}
+
+// SensorTap intercepts the sensor view a controller receives at the end of
+// a control interval. The board's internal physics and latched sensor state
+// are never modified — only the Sensors struct handed to the caller of Run
+// passes through the tap. The fault-injection layer uses this to model
+// noisy, dropped and stale sensor readings (DESIGN.md "Fault model").
+type SensorTap interface {
+	// TapSensors receives the clean sensor view and returns the (possibly
+	// corrupted) view the controller will observe.
+	TapSensors(s Sensors) Sensors
+}
+
+// ActuatorTap intercepts actuator writes on their way to the board, so a
+// fault layer can model lagging, lost or misapplied DVFS/hotplug commands.
+// Each method receives the requested value (already clamped/quantized to the
+// actuator's grid), the value currently in effect, and — for frequencies —
+// the DVFS step size; it returns the value that actually takes effect. The
+// board re-clamps and re-quantizes the returned value, so a tap can never
+// drive an actuator outside its physical range.
+type ActuatorTap interface {
+	// TapBigCores intercepts big-cluster hotplug writes.
+	TapBigCores(requested, current int) int
+	// TapLittleCores intercepts little-cluster hotplug writes.
+	TapLittleCores(requested, current int) int
+	// TapBigFreq intercepts big-cluster DVFS writes (GHz).
+	TapBigFreq(requested, current, step float64) float64
+	// TapLittleFreq intercepts little-cluster DVFS writes (GHz).
+	TapLittleFreq(requested, current, step float64) float64
 }
 
 // Board is a simulated ODROID XU3.
@@ -75,6 +111,10 @@ type Board struct {
 	migStallS float64
 
 	noise *rand.Rand
+
+	// Fault-injection taps (nil = clean board).
+	sensorTap SensorTap
+	actTap    ActuatorTap
 
 	tmu tmu
 }
@@ -105,6 +145,28 @@ func New(cfg Config) *Board {
 // Config returns the board's configuration.
 func (b *Board) Config() Config { return b.cfg }
 
+// AttachSensorTap installs t on the sensor read path (nil detaches). The tap
+// sees every Sensors struct Run returns, in order, exactly once per control
+// interval.
+func (b *Board) AttachSensorTap(t SensorTap) { b.sensorTap = t }
+
+// AttachActuatorTap installs t on the actuator write path (nil detaches).
+// The tap sees every SetBigCores/SetLittleCores/SetBigFreq/SetLittleFreq
+// call, in call order.
+func (b *Board) AttachActuatorTap(t ActuatorTap) { b.actTap = t }
+
+// ForceEmergencyThrottle makes the firmware treat the next d of simulated
+// time as a sustained thermal violation, regardless of the actual hot-spot
+// temperature — the fault model's forced TMU emergency-throttle event. The
+// usual firmware dynamics apply: the violation must persist for
+// EmergencyHold before the cap engages, and after the forced window passes
+// (and the real temperature is safe) the cap releases one step at a time.
+func (b *Board) ForceEmergencyThrottle(d time.Duration) {
+	if d > 0 {
+		b.tmu.forcedS += d.Seconds()
+	}
+}
+
 // quantizeFreq clamps f into the cluster's range and rounds to the step grid.
 func quantizeFreq(c ClusterConfig, f float64) float64 {
 	if f < c.FreqMinGHz {
@@ -121,12 +183,20 @@ func quantizeFreq(c ClusterConfig, f float64) float64 {
 
 // SetBigCores hotplugs the big cluster to n cores (1..4).
 func (b *Board) SetBigCores(n int) {
-	b.bigCores = clampInt(n, 1, b.cfg.Big.MaxCores)
+	n = clampInt(n, 1, b.cfg.Big.MaxCores)
+	if b.actTap != nil {
+		n = clampInt(b.actTap.TapBigCores(n, b.bigCores), 1, b.cfg.Big.MaxCores)
+	}
+	b.bigCores = n
 }
 
 // SetLittleCores hotplugs the little cluster to n cores (1..4).
 func (b *Board) SetLittleCores(n int) {
-	b.littleCores = clampInt(n, 1, b.cfg.Little.MaxCores)
+	n = clampInt(n, 1, b.cfg.Little.MaxCores)
+	if b.actTap != nil {
+		n = clampInt(b.actTap.TapLittleCores(n, b.littleCores), 1, b.cfg.Little.MaxCores)
+	}
+	b.littleCores = n
 }
 
 // SetBigFreq requests a big-cluster frequency in GHz; the value is clamped
@@ -134,6 +204,9 @@ func (b *Board) SetLittleCores(n int) {
 // (the PLL relock / voltage ramp of a real cpufreq transition).
 func (b *Board) SetBigFreq(ghz float64) {
 	f := quantizeFreq(b.cfg.Big, ghz)
+	if b.actTap != nil {
+		f = quantizeFreq(b.cfg.Big, b.actTap.TapBigFreq(f, b.bigFreq, b.cfg.Big.FreqStepGHz))
+	}
 	if f != b.bigFreq {
 		b.migStallS += b.cfg.DVFSTransition.Seconds()
 	}
@@ -143,6 +216,9 @@ func (b *Board) SetBigFreq(ghz float64) {
 // SetLittleFreq requests a little-cluster frequency in GHz.
 func (b *Board) SetLittleFreq(ghz float64) {
 	f := quantizeFreq(b.cfg.Little, ghz)
+	if b.actTap != nil {
+		f = quantizeFreq(b.cfg.Little, b.actTap.TapLittleFreq(f, b.littleFreq, b.cfg.Little.FreqStepGHz))
+	}
 	if f != b.littleFreq {
 		b.migStallS += b.cfg.DVFSTransition.Seconds()
 	}
@@ -353,7 +429,7 @@ func (b *Board) Run(w workload.Workload, dt time.Duration) Sensors {
 	if b.noise != nil {
 		tempRead += b.noise.NormFloat64() * b.cfg.SensorNoiseStd / 10
 	}
-	return Sensors{
+	s := Sensors{
 		TimeS:           b.nowS,
 		BigPowerW:       b.sensedBigW,
 		LittlePowerW:    b.sensedLittleW,
@@ -364,6 +440,10 @@ func (b *Board) Run(w workload.Workload, dt time.Duration) Sensors {
 		Throttled:       b.tmu.engagedBig || b.tmu.engagedLittle || b.tmu.engagedTemp,
 		EmergencyEvents: b.tmu.events,
 	}
+	if b.sensorTap != nil {
+		s = b.sensorTap.TapSensors(s)
+	}
+	return s
 }
 
 // String summarizes the board state for logs.

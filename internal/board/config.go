@@ -18,7 +18,9 @@ import "time"
 
 // ClusterConfig describes one CPU cluster.
 type ClusterConfig struct {
-	Name     string
+	// Name labels the cluster ("big" or "little") in logs.
+	Name string
+	// MaxCores is the number of physical cores in the cluster.
 	MaxCores int
 
 	// DVFS range and step (GHz).
@@ -33,7 +35,8 @@ type ClusterConfig struct {
 
 	// StaticBaseW is the per-core leakage at 50°C; leakage scales as
 	// exp((T-50)/StaticTempScaleC).
-	StaticBaseW      float64
+	StaticBaseW float64
+	// StaticTempScaleC is the exponential temperature scale of leakage (°C).
 	StaticTempScaleC float64
 
 	// RefFreqGHz anchors the memory roofline: at the reference frequency a
@@ -51,26 +54,28 @@ type ClusterConfig struct {
 
 // Config holds the full board model.
 type Config struct {
+	// Big and Little describe the two CPU clusters.
 	Big, Little ClusterConfig
 
 	// SimStep is the physics integration step.
 	SimStep time.Duration
 
-	// Thermal model: dT/dt = (Ambient + R*(P_total) - T)/Tau.
+	// AmbientC is the ambient temperature in the first-order thermal model
+	// dT/dt = (Ambient + R*P_total - T)/Tau.
 	AmbientC    float64
-	ThermalRCW  float64 // °C per watt
-	ThermalTauS float64
+	ThermalRCW  float64 // thermal resistance, °C per watt
+	ThermalTauS float64 // thermal time constant, seconds
 	BasePowerW  float64 // memory + SoC uncore power
 
 	// PowerSensorPeriod is the update period of the on-board INA231-style
 	// power sensors (260 ms on the XU3).
 	PowerSensorPeriod time.Duration
 
-	// Firmware emergency thresholds (paper §V-A: the evaluation limits are
-	// chosen just below these).
+	// TempEmergencyC is the firmware thermal emergency threshold (paper
+	// §V-A: the evaluation limits are chosen just below the firmware's).
 	TempEmergencyC         float64
-	BigPowerEmergencyW     float64
-	LittlePowerEmergencyW  float64
+	BigPowerEmergencyW     float64       // big-cluster power emergency threshold
+	LittlePowerEmergencyW  float64       // little-cluster power emergency threshold
 	EmergencyHold          time.Duration // sustained violation before engaging
 	EmergencyStepPeriod    time.Duration // per-step throttle/release cadence
 	EmergencyReleaseDelay  time.Duration // below-threshold time before release

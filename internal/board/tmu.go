@@ -18,6 +18,7 @@ type tmu struct {
 	overBigS, overLittleS, overTempS    float64 // sustained violation timers
 	underBigS, underLittleS, underTempS float64 // sustained safe timers
 	sinceStepS                          float64
+	forcedS                             float64 // remaining forced-violation time
 
 	engagedBig, engagedLittle, engagedTemp bool
 	events                                 int
@@ -45,9 +46,15 @@ func (t *tmu) step(b *Board, bigW, littleW, dt float64) {
 			*overS = 0
 		}
 	}
+	// A forced event (Board.ForceEmergencyThrottle) makes the thermal path
+	// see a violation for its duration regardless of the real temperature.
+	forced := t.forcedS > 0
+	if forced {
+		t.forcedS -= dt
+	}
 	track(bigW > t.cfg.BigPowerEmergencyW, &t.overBigS, &t.underBigS)
 	track(littleW > t.cfg.LittlePowerEmergencyW, &t.overLittleS, &t.underLittleS)
-	track(b.tempC > t.cfg.TempEmergencyC, &t.overTempS, &t.underTempS)
+	track(forced || b.tempC > t.cfg.TempEmergencyC, &t.overTempS, &t.underTempS)
 
 	hold := t.cfg.EmergencyHold.Seconds()
 	release := t.cfg.EmergencyReleaseDelay.Seconds()

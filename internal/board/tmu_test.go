@@ -181,3 +181,101 @@ func TestDVFSTransitionStall(t *testing.T) {
 		t.Fatalf("DVFS thrash (%v) should not beat steady (%v)", thrash, steady)
 	}
 }
+
+func TestForcedEmergencyThrottleEngagesAndRecovers(t *testing.T) {
+	// A forced thermal event at a safe operating point must walk through the
+	// normal firmware dynamics: hold before engaging, cap while forced, and
+	// step-wise release once the forced window has passed.
+	cfg := DefaultConfig()
+	b := New(cfg)
+	w := hotApp(t)
+	b.SetBigCores(2)
+	b.SetBigFreq(1.0)
+	b.Place(Placement{ThreadsBig: 4, ThreadsPerBigCore: 2, ThreadsPerLittleCore: 1})
+	// Settle well below every real threshold first.
+	s := b.Run(w, 4*time.Second)
+	if s.Throttled || s.EmergencyEvents != 0 {
+		t.Fatalf("operating point not safe before forcing (events=%d)", s.EmergencyEvents)
+	}
+
+	b.ForceEmergencyThrottle(5 * time.Second)
+	for i := 0; i < 10; i++ {
+		s = b.Run(w, 500*time.Millisecond)
+	}
+	if s.EmergencyEvents == 0 || !s.Throttled {
+		t.Fatalf("forced violation did not engage the firmware (events=%d)", s.EmergencyEvents)
+	}
+	if b.EffectiveBigFreq() >= 1.0 {
+		t.Fatalf("forced thermal emergency did not cap the big cluster (eff=%v)", b.EffectiveBigFreq())
+	}
+	capped := b.EffectiveBigFreq()
+
+	// After the forced window the real temperature is still safe, so the cap
+	// must release gradually and fully recover.
+	released := false
+	for i := 0; i < 60; i++ {
+		s = b.Run(w, 500*time.Millisecond)
+		if !s.Throttled {
+			released = true
+			break
+		}
+	}
+	if !released {
+		t.Fatalf("cap never released after the forced window (eff=%v)", b.EffectiveBigFreq())
+	}
+	if b.EffectiveBigFreq() <= capped {
+		t.Fatal("effective frequency did not recover after release")
+	}
+	if got := b.EffectiveBigFreq(); got != 1.0 {
+		t.Fatalf("effective frequency %v after recovery, want the requested 1.0", got)
+	}
+}
+
+func TestForcedThrottleShorterThanHoldIsIgnored(t *testing.T) {
+	// The firmware needs a sustained violation: a forced event shorter than
+	// EmergencyHold must not trip it.
+	cfg := DefaultConfig()
+	b := New(cfg)
+	w := hotApp(t)
+	b.SetBigCores(2)
+	b.SetBigFreq(1.0)
+	b.Place(Placement{ThreadsBig: 4, ThreadsPerBigCore: 2, ThreadsPerLittleCore: 1})
+	b.Run(w, 4*time.Second)
+
+	b.ForceEmergencyThrottle(cfg.EmergencyHold / 2)
+	var s Sensors
+	for i := 0; i < 10; i++ {
+		s = b.Run(w, 500*time.Millisecond)
+	}
+	if s.EmergencyEvents != 0 || s.Throttled {
+		t.Fatalf("sub-hold forced event tripped the firmware (events=%d)", s.EmergencyEvents)
+	}
+	// Non-positive durations are ignored outright.
+	b.ForceEmergencyThrottle(0)
+	b.ForceEmergencyThrottle(-time.Second)
+	if s = b.Run(w, time.Second); s.EmergencyEvents != 0 {
+		t.Fatal("non-positive forced duration tripped the firmware")
+	}
+}
+
+func TestForcedThrottleDurationsAccumulate(t *testing.T) {
+	// Two forced events whose union is sustained must engage even though each
+	// alone is shorter than the hold.
+	cfg := DefaultConfig()
+	b := New(cfg)
+	w := hotApp(t)
+	b.SetBigCores(2)
+	b.SetBigFreq(1.0)
+	b.Place(Placement{ThreadsBig: 4, ThreadsPerBigCore: 2, ThreadsPerLittleCore: 1})
+	b.Run(w, 4*time.Second)
+
+	b.ForceEmergencyThrottle(600 * time.Millisecond)
+	b.ForceEmergencyThrottle(600 * time.Millisecond)
+	var s Sensors
+	for i := 0; i < 6; i++ {
+		s = b.Run(w, 500*time.Millisecond)
+	}
+	if s.EmergencyEvents == 0 {
+		t.Fatal("back-to-back forced events did not accumulate into a sustained violation")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"yukta/internal/board"
+	"yukta/internal/fault"
 	"yukta/internal/series"
 	"yukta/internal/workload"
 )
@@ -23,6 +24,10 @@ type RunResult struct {
 	Completed       bool
 	EmergencyEvents int
 
+	// Faults counts the faults actually injected when the run executed under
+	// a fault plan (zero for clean runs).
+	Faults fault.Stats
+
 	// Traces of the signals plotted in the paper's time-series figures.
 	BigPower    *series.Series // Figure 10 / 17
 	LittlePower *series.Series
@@ -38,6 +43,13 @@ type RunOptions struct {
 	MaxTime time.Duration
 	// Interval is the control interval. Default 500 ms (§V-A).
 	Interval time.Duration
+	// Faults, when enabled, injects the plan's fault sequence into the run:
+	// the board's sensor and actuator paths are tapped, forced TMU events are
+	// scheduled, and the workload is wrapped with the plan's phase
+	// disturbance. The injected sequence is fully determined by
+	// (Faults.Seed, scheme name, app name), so identical runs see identical
+	// faults at any experiment parallelism.
+	Faults fault.Plan
 }
 
 // Run executes the workload to completion (or MaxTime) under the scheme on a
@@ -53,8 +65,18 @@ func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*Ru
 	if err != nil {
 		return nil, fmt.Errorf("core: building scheme %q: %w", sch.Name, err)
 	}
+	var inj *fault.Injector
+	if opt.Faults.Enabled() {
+		runKey := sch.Name + "|" + w.Name()
+		inj = opt.Faults.NewInjector(runKey)
+		w = opt.Faults.Disturb(w, runKey)
+	}
 	w.Reset()
 	b := board.New(cfg)
+	if inj != nil {
+		b.AttachSensorTap(inj)
+		b.AttachActuatorTap(inj)
+	}
 
 	res := &RunResult{
 		App:         w.Name(),
@@ -68,6 +90,9 @@ func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*Ru
 	maxSteps := int(opt.MaxTime / opt.Interval)
 	var sensors board.Sensors
 	for i := 0; i < maxSteps && !w.Done(); i++ {
+		if inj != nil {
+			inj.Advance(b)
+		}
 		sensors = b.Run(w, opt.Interval)
 		sess.Step(sensors, b, w.Profile().Threads)
 		res.BigPower.Add(sensors.TimeS, sensors.BigPowerW)
@@ -81,6 +106,9 @@ func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*Ru
 	res.EnergyJ = b.EnergyJ()
 	res.ExD = res.EnergyJ * res.TimeS
 	res.EmergencyEvents = sensors.EmergencyEvents
+	if inj != nil {
+		res.Faults = inj.Stats()
+	}
 	return res, nil
 }
 

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+
 	"yukta/internal/board"
 	"yukta/internal/heuristic"
 	"yukta/internal/lqgctl"
@@ -41,6 +43,28 @@ func exdProxy(s board.Sensors, base float64) float64 {
 		perf = 0.3
 	}
 	return (s.BigPowerW + s.LittlePowerW + base) / (perf * perf)
+}
+
+// costGuard keeps the E×D hill-climbing search sane under sensor dropout: a
+// non-finite sample (the fault layer reports dropped power readings as NaN)
+// is replaced by the last finite sample, so the optimizer pauses on a stale
+// cost for the dropped interval instead of having its EMA poisoned forever.
+type costGuard struct {
+	last float64
+	have bool
+}
+
+// guard returns exd if finite, otherwise the last finite sample seen (or a
+// neutral constant before any good sample has arrived).
+func (g *costGuard) guard(exd float64) float64 {
+	if math.IsNaN(exd) || math.IsInf(exd, 0) {
+		if g.have {
+			return g.last
+		}
+		return 1
+	}
+	g.last, g.have = exd, true
+	return exd
 }
 
 // ---- Heuristic schemes -------------------------------------------------
@@ -104,6 +128,7 @@ type hwSSVSession struct {
 	opt     *optimizer.Optimizer
 	base    float64
 	perfEMA float64
+	cost    costGuard
 
 	// Ablation switches (normal operation leaves both false).
 	noExternals    bool // feed zeros instead of the OS layer's signals
@@ -119,7 +144,7 @@ type hwSSVSession struct {
 }
 
 func (h *hwSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
-	tg := h.opt.UpdateInto(h.tg, exdProxy(s, h.base))
+	tg := h.opt.UpdateInto(h.tg, h.cost.guard(exdProxy(s, h.base)))
 	h.tg = tg
 	// Reference governor: the optimizer raises the performance target from
 	// the *measured* performance (§IV-D "keeps increasing Perf_0"), so the
@@ -222,6 +247,7 @@ type osSSVSession struct {
 	emaL   float64
 	emaB   float64
 	inited bool
+	cost   costGuard
 
 	noExternals    bool
 	noConditioning bool
@@ -234,7 +260,7 @@ type osSSVSession struct {
 }
 
 func (o *osSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
-	tg := o.opt.UpdateInto(o.tg, exdProxy(s, o.base))
+	tg := o.opt.UpdateInto(o.tg, o.cost.guard(exdProxy(s, o.base)))
 	o.tg = tg
 	// Reference governor, as in the hardware layer: cluster performance
 	// targets track measured values instead of running open-loop ahead.
@@ -357,6 +383,7 @@ type monoLQGSession struct {
 	opt   *optimizer.Optimizer
 	osOpt *optimizer.Optimizer
 	base  float64
+	cost  costGuard
 
 	// Per-step scratch buffers.
 	tg, og  []float64
@@ -365,7 +392,7 @@ type monoLQGSession struct {
 }
 
 func (m *monoLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
-	exd := exdProxy(s, m.base)
+	exd := m.cost.guard(exdProxy(s, m.base))
 	tg := m.opt.UpdateInto(m.tg, exd)
 	m.tg = tg
 	og := m.osOpt.UpdateInto(m.og, exd)
@@ -412,6 +439,7 @@ type decoupLQGSession struct {
 	hwOpt  *optimizer.Optimizer
 	osOpt  *optimizer.Optimizer
 	base   float64
+	cost   costGuard
 
 	// Per-step scratch buffers.
 	tg, og    []float64
@@ -421,7 +449,7 @@ type decoupLQGSession struct {
 }
 
 func (d *decoupLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
-	exd := exdProxy(s, d.base)
+	exd := d.cost.guard(exdProxy(s, d.base))
 	tg := d.hwOpt.UpdateInto(d.tg, exd)
 	d.tg = tg
 	d.hwTargets = [4]float64{tg[0], tg[1], tg[2], tempTargetC}

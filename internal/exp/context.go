@@ -26,6 +26,10 @@ type Context struct {
 	// sequentially. Results are always assembled in the sequential order, so
 	// rendered figures are identical at any setting.
 	Parallelism int
+
+	// Seed is the base seed of the harness's seeded components (fault
+	// campaigns and workload disturbances); see Options.Seed.
+	Seed int64
 }
 
 // NewContext builds the platform (identification plus model fitting) with
@@ -40,7 +44,11 @@ func NewContextWithOptions(opt Options) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Context{P: p, Parallelism: opt.Parallelism}, nil
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Context{P: p, Parallelism: opt.Parallelism, Seed: seed}, nil
 }
 
 // DefaultHWParamsForBench re-exports the Table II defaults for the

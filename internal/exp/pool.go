@@ -15,6 +15,12 @@ type Options struct {
 	// independent (scheme, app) simulations out. 0 means runtime.NumCPU();
 	// 1 runs every experiment sequentially.
 	Parallelism int
+
+	// Seed is the base seed for every seeded component of the harness (the
+	// robustness sweep's fault campaign and its workload disturbances). Runs
+	// derive their own streams from it, so one seed fixes every random draw
+	// in the harness regardless of parallelism. 0 means seed 1.
+	Seed int64
 }
 
 // workers resolves the context's parallelism setting to a concrete count.

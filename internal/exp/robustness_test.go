@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"yukta/internal/core"
+)
+
+// TestRobustnessSweep covers the fault-harness acceptance criteria on the
+// default grid (the same one `yukta-bench -faults -quick` runs): the
+// rendered degradation table is byte-identical across parallelism settings
+// for a fixed seed, every fault class actually delivers, and the SSV stack
+// degrades no worse than the LQG and heuristic baselines at every swept
+// intensity.
+func TestRobustnessSweep(t *testing.T) {
+	c := testContext(t)
+
+	oldPar, oldSeed := c.Parallelism, c.Seed
+	defer func() { c.Parallelism, c.Seed = oldPar, oldSeed }()
+	c.Seed = 1
+
+	c.Parallelism = 1
+	seq, err := c.RobustnessSweep(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Parallelism = 3
+	par, err := c.RobustnessSweep(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Render() != par.Render() {
+		t.Fatalf("sweep not deterministic across parallelism:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq.Render(), par.Render())
+	}
+
+	for k, f := range seq.Faults {
+		if f.DroppedReadings == 0 || f.StaleReadings == 0 || f.HeldCommands == 0 ||
+			f.SkewedCommands == 0 || f.ForcedThrottles == 0 {
+			t.Errorf("intensity %.2f delivered no faults in some class: %+v", seq.Intensities[k], f)
+		}
+	}
+	for k, s := range seq.Intensities {
+		ssv := seq.Degradation[core.NameYuktaFull][k]
+		heur := seq.Degradation[core.NameCoordHeur][k]
+		lqg := seq.Degradation[core.NameMonoLQG][k]
+		if ssv > heur+0.01 || ssv > lqg+0.01 {
+			t.Errorf("at intensity %.2f SSV degrades %.3f vs heuristic %.3f / LQG %.3f",
+				s, ssv, heur, lqg)
+		}
+	}
+	out := seq.Render()
+	if !strings.Contains(out, "forced TMU") || !strings.Contains(out, "seed 1") {
+		t.Fatalf("render output malformed:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}

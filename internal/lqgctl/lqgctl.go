@@ -32,6 +32,13 @@ type Runtime struct {
 	wastedSteps int
 	totalSteps  int
 
+	// Hold-last-good state: even the deficient LQG baseline is assumed to be
+	// implemented competently enough not to feed NaN into its state machine,
+	// so on a dropped sensor reading it repeats its previous command.
+	lastPhys  []float64
+	havePhys  bool
+	heldSteps int
+
 	// Per-step scratch buffers so the 500 ms control loop does not allocate.
 	dy, u, du, ax, bdy, phys []float64
 }
@@ -101,6 +108,22 @@ func (r *Runtime) Step(measurements, externals []float64) ([]float64, error) {
 	if len(measurements) != c.NumOut || len(externals) != c.NumExt {
 		return nil, fmt.Errorf("lqgctl: arity mismatch (%d meas, %d ext)", len(measurements), len(externals))
 	}
+	// Graceful degradation on faulted inputs: hold the previous command and
+	// freeze the state rather than stepping on non-finite readings. Note the
+	// windup deficiency remains — the held state is whatever the controller
+	// had wound itself to.
+	if !finiteAll(measurements) || !finiteAll(externals) {
+		r.heldSteps++
+		if r.havePhys {
+			copy(r.phys, r.lastPhys)
+			return r.phys, nil
+		}
+		for i := range r.phys {
+			lv := r.levels[i]
+			r.phys[i] = lv[len(lv)/2]
+		}
+		return r.phys, nil
+	}
 	dy := r.dy
 	for i, m := range measurements {
 		dy[i] = r.outScale[i].Normalize(m) - r.targets[i]
@@ -136,8 +159,17 @@ func (r *Runtime) Step(measurements, externals []float64) ([]float64, error) {
 	if wasted {
 		r.wastedSteps++
 	}
+	if r.lastPhys == nil {
+		r.lastPhys = make([]float64, len(phys))
+	}
+	copy(r.lastPhys, phys)
+	r.havePhys = true
 	return phys, nil
 }
+
+// HeldSteps returns how many control intervals were skipped because the
+// sensor path delivered non-finite readings.
+func (r *Runtime) HeldSteps() int { return r.heldSteps }
 
 // WastedFraction reports the fraction of control intervals spent commanding
 // actuators beyond their physical limits — the paper measures 9% for
@@ -155,6 +187,19 @@ func (r *Runtime) Reset() {
 		r.state[i] = 0
 	}
 	r.wastedSteps, r.totalSteps = 0, 0
+	r.lastPhys = nil
+	r.havePhys = false
+	r.heldSteps = 0
+}
+
+// finiteAll reports whether every element of v is a finite number.
+func finiteAll(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 func nearest(levels []float64, v float64) float64 {

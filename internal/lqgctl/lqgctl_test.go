@@ -143,3 +143,42 @@ func TestValidation(t *testing.T) {
 		t.Fatal("expected target arity error")
 	}
 }
+
+func TestLQGStepHoldsOnNonFiniteInputs(t *testing.T) {
+	ctl := lqgController(t)
+	r := runtimeFor(t, ctl)
+	twin := runtimeFor(t, ctl)
+	step := func(rt *Runtime, m float64) float64 {
+		u, err := rt.Step([]float64{m}, []float64{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u[0]
+	}
+	var last float64
+	for i := 0; i < 5; i++ {
+		last = step(r, 4)
+		step(twin, 4)
+	}
+	if got := step(r, math.NaN()); got != last {
+		t.Fatalf("held command %v, want last good %v", got, last)
+	}
+	if r.HeldSteps() != 1 {
+		t.Fatalf("HeldSteps() = %d, want 1", r.HeldSteps())
+	}
+	// State frozen during the hold: resumes in lockstep with the clean twin.
+	for i := 0; i < 5; i++ {
+		if a, b := step(r, 6), step(twin, 6); a != b {
+			t.Fatalf("post-dropout step %d: %v vs unfaulted %v", i, a, b)
+		}
+	}
+	// First-interval dropout falls back to the mid-range level.
+	fresh := runtimeFor(t, ctl)
+	u, err := fresh.Step([]float64{math.NaN()}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 1.4 { // levels {0.2,0.6,1.0,1.4,1.8,2.0}, index 3
+		t.Fatalf("first-interval dropout command %v, want 1.4", u[0])
+	}
+}

@@ -48,6 +48,10 @@ type Runtime struct {
 	exceedStreak int
 	exceeded     bool
 
+	// heldSteps counts intervals skipped because the sensor path delivered
+	// non-finite readings (graceful degradation under fault injection).
+	heldSteps int
+
 	opsPerStep int
 	bytesState int
 
@@ -196,6 +200,24 @@ func (r *Runtime) Step(measurements, externals, applied []float64) ([]float64, e
 	if applied != nil && len(applied) != c.NumCtrl {
 		return nil, fmt.Errorf("ssvctl: %d applied values for %d controls", len(applied), c.NumCtrl)
 	}
+	// Graceful degradation on faulted inputs: a non-finite reading means the
+	// sensor path dropped this interval. Stepping the state machine on NaN
+	// would poison the state vector permanently, so the runtime holds its
+	// last good command and freezes its state, integrators and guardband
+	// monitor; the next good reading resumes control from where it left off.
+	if !finiteAll(measurements) || !finiteAll(externals) {
+		r.heldSteps++
+		if r.haveU {
+			copy(r.phys, r.lastU)
+			return r.phys, nil
+		}
+		// No command issued yet: hold each actuator at its mid-range level.
+		for i := range r.phys {
+			ls := r.levels[i]
+			r.phys[i] = ls[len(ls)/2]
+		}
+		return r.phys, nil
+	}
 	// Build the input vector: normalized deviations, then externals, then —
 	// for self-conditioned realizations — the applied command (filled in
 	// after quantization).
@@ -342,6 +364,10 @@ func (r *Runtime) LastRawCommand() []float64 {
 // controller detects it dynamically" behaviour.
 func (r *Runtime) GuardbandExceeded() bool { return r.exceeded }
 
+// HeldSteps returns how many control intervals were skipped because the
+// sensor path delivered non-finite readings.
+func (r *Runtime) HeldSteps() int { return r.heldSteps }
+
 // Reset clears the controller state, the quantizer hysteresis and the
 // guardband monitor.
 func (r *Runtime) Reset() {
@@ -355,6 +381,17 @@ func (r *Runtime) Reset() {
 	r.haveU = false
 	r.exceedStreak = 0
 	r.exceeded = false
+	r.heldSteps = 0
+}
+
+// finiteAll reports whether every element of v is a finite number.
+func finiteAll(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // OpsPerStep returns the number of fixed-point multiply/add operations one

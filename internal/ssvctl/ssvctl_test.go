@@ -227,3 +227,66 @@ func TestCostAccounting(t *testing.T) {
 		t.Fatalf("paper-dimension op count %d out of the §VI-D ballpark", ops)
 	}
 }
+
+func TestStepHoldsOnNonFiniteInputs(t *testing.T) {
+	ctl := synthController(t)
+	r := runtimeFor(t, ctl)
+	twin := runtimeFor(t, ctl)
+	if err := r.SetTargets([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.SetTargets([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	step := func(rt *Runtime, m float64) float64 {
+		u, err := rt.Step([]float64{m}, []float64{2}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u[0]
+	}
+	var last float64
+	for i := 0; i < 5; i++ {
+		last = step(r, 4)
+		step(twin, 4)
+	}
+	// Dropped reading: the command holds and the state freezes.
+	if got := step(r, math.NaN()); got != last {
+		t.Fatalf("held command %v, want last good %v", got, last)
+	}
+	if got := step(r, math.Inf(1)); got != last {
+		t.Fatalf("held command %v under +Inf, want %v", got, last)
+	}
+	if r.HeldSteps() != 2 {
+		t.Fatalf("HeldSteps() = %d, want 2", r.HeldSteps())
+	}
+	// After the dropout the runtime resumes exactly where the unfaulted twin
+	// is: held intervals must not have advanced any internal state.
+	for i := 0; i < 5; i++ {
+		if a, b := step(r, 6), step(twin, 6); a != b {
+			t.Fatalf("post-dropout step %d: %v vs unfaulted %v", i, a, b)
+		}
+	}
+	// Non-finite externals hold too.
+	before := step(r, 6)
+	if u, err := r.Step([]float64{6}, []float64{math.NaN()}, nil); err != nil || u[0] != before {
+		t.Fatalf("NaN external: u=%v err=%v, want held %v", u, err, before)
+	}
+	// A dropout on the very first interval yields the mid-range level.
+	fresh := runtimeFor(t, ctl)
+	u, err := fresh.Step([]float64{math.NaN()}, []float64{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := Levels(0.2, 2.0, 0.1)
+	if u[0] != lv[len(lv)/2] {
+		t.Fatalf("first-interval dropout command %v, want mid-range %v", u[0], lv[len(lv)/2])
+	}
+	if fresh.GuardbandExceeded() {
+		t.Fatal("held intervals must not trip the guardband monitor")
+	}
+	fresh.Reset()
+	if fresh.HeldSteps() != 0 {
+		t.Fatal("Reset did not clear HeldSteps")
+	}
+}
