@@ -11,6 +11,7 @@
 //	yukta-bench -csv out/         # also dump time-series CSVs for trace figures
 //	yukta-bench -faults           # robustness sweep: E×D degradation vs fault intensity
 //	yukta-bench -faults -quick -faultseed 7
+//	yukta-bench -faults -supervise # add the supervised SSV scheme + per-class supervised table
 package main
 
 import (
@@ -27,15 +28,16 @@ var quickApps = []string{"gamess", "mcf", "blackscholes", "streamcluster"}
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure to regenerate: 9, 10, 11, 12, 13, 14, 15a, 15b, 16a, 16b, 17, cost")
-		table    = flag.Int("table", 0, "table to print: 1, 2, 3 or 4")
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		quick    = flag.Bool("quick", false, "use a representative 4-app subset for suite figures")
-		list     = flag.Bool("list", false, "list available artifacts")
+		fig       = flag.String("fig", "", "figure to regenerate: 9, 10, 11, 12, 13, 14, 15a, 15b, 16a, 16b, 17, cost")
+		table     = flag.Int("table", 0, "table to print: 1, 2, 3 or 4")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		quick     = flag.Bool("quick", false, "use a representative 4-app subset for suite figures")
+		list      = flag.Bool("list", false, "list available artifacts")
 		csvDir    = flag.String("csv", "", "directory to dump time-series CSVs for trace figures")
 		parallel  = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = NumCPU, 1 = sequential)")
 		faults    = flag.Bool("faults", false, "run the robustness sweep (scheme × fault-intensity degradation table)")
 		faultSeed = flag.Int64("faultseed", 1, "base seed of the injected fault campaign")
+		supervise = flag.Bool("supervise", false, "add the supervised SSV scheme to the robustness sweep and print the per-class supervised degradation table")
 	)
 	flag.Parse()
 
@@ -70,7 +72,7 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "building platform (identification + model fitting + controller synthesis)...")
-	ctx, err := exp.NewContextWithOptions(exp.Options{Parallelism: *parallel, Seed: *faultSeed})
+	ctx, err := exp.NewContextWithOptions(exp.Options{Parallelism: *parallel, Seed: *faultSeed, Supervise: *supervise})
 	if err != nil {
 		fatal(err)
 	}
@@ -81,6 +83,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(rt.Render())
+		if *supervise {
+			ct, err := ctx.SupervisedClassSweep(apps, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(ct.Render())
+		}
 		if *fig == "" && !*all {
 			return
 		}

@@ -11,12 +11,17 @@ import (
 )
 
 // doclintPackages are the packages whose exported API must be fully
-// documented: the public facade and the packages the fault-injection work
-// turned into extension points.
+// documented: the public facade, the packages the fault-injection work
+// turned into extension points, and the controller runtimes plus the
+// supervisory layer above them.
 var doclintPackages = []string{
 	"control",
 	"internal/board",
 	"internal/fault",
+	"internal/ssvctl",
+	"internal/lqgctl",
+	"internal/heuristic",
+	"internal/supervisor",
 }
 
 // TestExportedIdentifiersDocumented fails on any exported identifier —

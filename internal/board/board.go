@@ -52,6 +52,14 @@ type Sensors struct {
 	// engaged on either cluster.
 	Throttled bool
 
+	// ThermalThrottled reports whether specifically the thermal emergency
+	// path is engaged (the per-path trip state is readable on real boards via
+	// the cooling-device sysfs). A thermal emergency reported while the
+	// temperature reading is cool is the signature of a misreading diode or
+	// an externally forced cap — the supervisory layer keys on exactly that
+	// inconsistency.
+	ThermalThrottled bool
+
 	// EmergencyEvents counts firmware emergency activations so far.
 	EmergencyEvents int
 }
@@ -115,6 +123,10 @@ type Board struct {
 	// Fault-injection taps (nil = clean board).
 	sensorTap SensorTap
 	actTap    ActuatorTap
+
+	// actMismatches counts actuator writes whose applied value differed from
+	// the requested one (see ActuatorMismatches).
+	actMismatches int
 
 	tmu tmu
 }
@@ -183,18 +195,26 @@ func quantizeFreq(c ClusterConfig, f float64) float64 {
 
 // SetBigCores hotplugs the big cluster to n cores (1..4).
 func (b *Board) SetBigCores(n int) {
-	n = clampInt(n, 1, b.cfg.Big.MaxCores)
+	r := clampInt(n, 1, b.cfg.Big.MaxCores)
+	n = r
 	if b.actTap != nil {
 		n = clampInt(b.actTap.TapBigCores(n, b.bigCores), 1, b.cfg.Big.MaxCores)
+	}
+	if n != r {
+		b.actMismatches++
 	}
 	b.bigCores = n
 }
 
 // SetLittleCores hotplugs the little cluster to n cores (1..4).
 func (b *Board) SetLittleCores(n int) {
-	n = clampInt(n, 1, b.cfg.Little.MaxCores)
+	r := clampInt(n, 1, b.cfg.Little.MaxCores)
+	n = r
 	if b.actTap != nil {
 		n = clampInt(b.actTap.TapLittleCores(n, b.littleCores), 1, b.cfg.Little.MaxCores)
+	}
+	if n != r {
+		b.actMismatches++
 	}
 	b.littleCores = n
 }
@@ -203,9 +223,13 @@ func (b *Board) SetLittleCores(n int) {
 // and quantized to the DVFS grid. An actual change stalls the board briefly
 // (the PLL relock / voltage ramp of a real cpufreq transition).
 func (b *Board) SetBigFreq(ghz float64) {
-	f := quantizeFreq(b.cfg.Big, ghz)
+	r := quantizeFreq(b.cfg.Big, ghz)
+	f := r
 	if b.actTap != nil {
 		f = quantizeFreq(b.cfg.Big, b.actTap.TapBigFreq(f, b.bigFreq, b.cfg.Big.FreqStepGHz))
+	}
+	if f != r {
+		b.actMismatches++
 	}
 	if f != b.bigFreq {
 		b.migStallS += b.cfg.DVFSTransition.Seconds()
@@ -215,15 +239,27 @@ func (b *Board) SetBigFreq(ghz float64) {
 
 // SetLittleFreq requests a little-cluster frequency in GHz.
 func (b *Board) SetLittleFreq(ghz float64) {
-	f := quantizeFreq(b.cfg.Little, ghz)
+	r := quantizeFreq(b.cfg.Little, ghz)
+	f := r
 	if b.actTap != nil {
 		f = quantizeFreq(b.cfg.Little, b.actTap.TapLittleFreq(f, b.littleFreq, b.cfg.Little.FreqStepGHz))
+	}
+	if f != r {
+		b.actMismatches++
 	}
 	if f != b.littleFreq {
 		b.migStallS += b.cfg.DVFSTransition.Seconds()
 	}
 	b.littleFreq = f
 }
+
+// ActuatorMismatches counts actuator writes whose applied value differed
+// from the (clamped, quantized) requested value — the read-back verification
+// a real governor performs against sysfs after each write. On a clean board
+// the applied value is the requested value by construction, so a non-zero
+// delta across a control interval is positive evidence of an actuation
+// fault (a lost or misapplied DVFS/hotplug command).
+func (b *Board) ActuatorMismatches() int { return b.actMismatches }
 
 // BigCores returns the hotplug state of the big cluster.
 func (b *Board) BigCores() int { return b.bigCores }
@@ -430,15 +466,16 @@ func (b *Board) Run(w workload.Workload, dt time.Duration) Sensors {
 		tempRead += b.noise.NormFloat64() * b.cfg.SensorNoiseStd / 10
 	}
 	s := Sensors{
-		TimeS:           b.nowS,
-		BigPowerW:       b.sensedBigW,
-		LittlePowerW:    b.sensedLittleW,
-		TempC:           tempRead,
-		BIPS:            instT / intervalS,
-		BIPSBig:         instB / intervalS,
-		BIPSLittle:      instL / intervalS,
-		Throttled:       b.tmu.engagedBig || b.tmu.engagedLittle || b.tmu.engagedTemp,
-		EmergencyEvents: b.tmu.events,
+		TimeS:            b.nowS,
+		BigPowerW:        b.sensedBigW,
+		LittlePowerW:     b.sensedLittleW,
+		TempC:            tempRead,
+		BIPS:             instT / intervalS,
+		BIPSBig:          instB / intervalS,
+		BIPSLittle:       instL / intervalS,
+		Throttled:        b.tmu.engagedBig || b.tmu.engagedLittle || b.tmu.engagedTemp,
+		ThermalThrottled: b.tmu.engagedTemp,
+		EmergencyEvents:  b.tmu.events,
 	}
 	if b.sensorTap != nil {
 		s = b.sensorTap.TapSensors(s)

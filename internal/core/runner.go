@@ -7,6 +7,7 @@ import (
 	"yukta/internal/board"
 	"yukta/internal/fault"
 	"yukta/internal/series"
+	"yukta/internal/supervisor"
 	"yukta/internal/workload"
 )
 
@@ -24,9 +25,17 @@ type RunResult struct {
 	Completed       bool
 	EmergencyEvents int
 
+	// IntervalS is the control interval the run executed at, in seconds
+	// (converts the supervisor's step counts to time).
+	IntervalS float64
+
 	// Faults counts the faults actually injected when the run executed under
 	// a fault plan (zero for clean runs).
 	Faults fault.Stats
+
+	// Supervisor holds the supervisory-layer accounting when the scheme was
+	// wrapped by SupervisedScheme (nil otherwise).
+	Supervisor *supervisor.Stats
 
 	// Traces of the signals plotted in the paper's time-series figures.
 	BigPower    *series.Series // Figure 10 / 17
@@ -67,7 +76,7 @@ func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*Ru
 	}
 	var inj *fault.Injector
 	if opt.Faults.Enabled() {
-		runKey := sch.Name + "|" + w.Name()
+		runKey := fault.RunKey(sch.faultKey(), w.Name())
 		inj = opt.Faults.NewInjector(runKey)
 		w = opt.Faults.Disturb(w, runKey)
 	}
@@ -106,8 +115,13 @@ func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*Ru
 	res.EnergyJ = b.EnergyJ()
 	res.ExD = res.EnergyJ * res.TimeS
 	res.EmergencyEvents = sensors.EmergencyEvents
+	res.IntervalS = opt.Interval.Seconds()
 	if inj != nil {
 		res.Faults = inj.Stats()
+	}
+	if sr, ok := sess.(SupervisorReporter); ok {
+		st := sr.SupervisorStats()
+		res.Supervisor = &st
 	}
 	return res, nil
 }

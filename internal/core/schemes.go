@@ -9,6 +9,7 @@ import (
 	"yukta/internal/lqgctl"
 	"yukta/internal/optimizer"
 	"yukta/internal/ssvctl"
+	"yukta/internal/supervisor"
 )
 
 // Session is one run's controller stack: it is invoked once per control
@@ -21,8 +22,24 @@ type Session interface {
 // Scheme names a controller stack and knows how to build a fresh Session
 // (controllers are stateful, so every run needs its own).
 type Scheme struct {
+	// Name labels the scheme in every table.
 	Name string
-	New  func() (Session, error)
+	// FaultKey, when non-empty, overrides the identity used to derive this
+	// scheme's fault-injection RNG streams (fault.RunKey); empty uses Name.
+	// Decorator schemes set it to their primary's identity so decorated and
+	// bare runs face the same fault realization — a paired (common random
+	// numbers) comparison that measures the decorator, not stream luck.
+	FaultKey string
+	// New builds a fresh Session for one run.
+	New func() (Session, error)
+}
+
+// faultKey returns the identity fault streams are derived from.
+func (s Scheme) faultKey() string {
+	if s.FaultKey != "" {
+		return s.FaultKey
+	}
+	return s.Name
 }
 
 // Scheme names, matching the paper's Table IV and §VI-B.
@@ -43,6 +60,40 @@ func exdProxy(s board.Sensors, base float64) float64 {
 		perf = 0.3
 	}
 	return (s.BigPowerW + s.LittlePowerW + base) / (perf * perf)
+}
+
+// ssvHealth converts an SSV runtime's health snapshot to the supervisor's
+// shape.
+func ssvHealth(h ssvctl.Health) supervisor.Health {
+	return supervisor.Health{GuardbandStreak: h.ExceedStreak,
+		HeldSteps: h.HeldSteps, Railed: h.Railed, NonFinite: h.NonFinite}
+}
+
+// lqgHealth converts an LQG runtime's health snapshot to the supervisor's
+// shape. The LQG runtime carries no guardband monitor (nothing was
+// synthesized to guarantee), so its streak is always zero.
+func lqgHealth(h lqgctl.Health) supervisor.Health {
+	return supervisor.Health{
+		HeldSteps: h.HeldSteps, Railed: h.Railed, NonFinite: h.NonFinite}
+}
+
+// mergeHealth combines two layers' health snapshots: boolean conditions OR,
+// held counters add, streaks take the worst layer.
+func mergeHealth(a, b supervisor.Health) supervisor.Health {
+	return supervisor.Health{
+		GuardbandStreak: maxInt(a.GuardbandStreak, b.GuardbandStreak),
+		HeldSteps:       a.HeldSteps + b.HeldSteps,
+		Railed:          a.Railed || b.Railed,
+		NonFinite:       a.NonFinite || b.NonFinite,
+	}
+}
+
+// maxInt returns the larger of a and b.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // costGuard keeps the E×D hill-climbing search sane under sensor dropout: a
@@ -134,6 +185,18 @@ type hwSSVSession struct {
 	noExternals    bool // feed zeros instead of the OS layer's signals
 	noConditioning bool // do not feed the applied command back
 
+	// frozen pauses the E×D target search (supervisory freeze while firmware
+	// throttling owns the operating point); targets hold at their last value.
+	frozen bool
+
+	// ceilBig/ceilLit cap the frequency commands before they reach the board
+	// (the supervisory no-raise authority clamp); non-positive means
+	// unlimited, so the zero value is an unclamped session. The cap sits in
+	// the command path, not after it, so a clamped session settles at the
+	// ceiling instead of thrashing the DVFS transition stall by re-raising
+	// every interval.
+	ceilBig, ceilLit float64
+
 	// Per-step scratch (the control loop runs every 500 ms; see the
 	// BenchmarkControllerStep allocation budget).
 	tg      []float64
@@ -143,9 +206,28 @@ type hwSSVSession struct {
 	applied [4]float64
 }
 
+func (h *hwSSVSession) setSearchFrozen(f bool) { h.frozen = f }
+
+func (h *hwSSVSession) setFreqCeiling(bigGHz, littleGHz float64) {
+	h.ceilBig, h.ceilLit = bigGHz, littleGHz
+}
+
+func (h *hwSSVSession) reseed(s board.Sensors, b *board.Board) {
+	h.applied = [4]float64{float64(b.BigCores()), float64(b.LittleCores()),
+		b.EffectiveBigFreq(), b.EffectiveLittleFreq()}
+	_ = h.rt.Reseed(h.applied[:])
+	h.perfEMA = 0
+	h.cost = costGuard{}
+}
+
+func (h *hwSSVSession) controllerHealth() supervisor.Health { return ssvHealth(h.rt.Health()) }
+
 func (h *hwSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
-	tg := h.opt.UpdateInto(h.tg, h.cost.guard(exdProxy(s, h.base)))
-	h.tg = tg
+	tg := h.tg
+	if !h.frozen || tg == nil {
+		tg = h.opt.UpdateInto(h.tg, h.cost.guard(exdProxy(s, h.base)))
+		h.tg = tg
+	}
 	// Reference governor: the optimizer raises the performance target from
 	// the *measured* performance (§IV-D "keeps increasing Perf_0"), so the
 	// reference never runs far ahead of what the plant is delivering — a
@@ -180,6 +262,12 @@ func (h *hwSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
 	u, err := h.rt.Step(h.meas[:], h.ext[:], applied)
 	if err != nil {
 		return
+	}
+	if h.ceilBig > 0 && u[2] > h.ceilBig {
+		u[2] = h.ceilBig
+	}
+	if h.ceilLit > 0 && u[3] > h.ceilLit {
+		u[3] = h.ceilLit
 	}
 	applyHW(b, u)
 }
@@ -252,6 +340,9 @@ type osSSVSession struct {
 	noExternals    bool
 	noConditioning bool
 
+	// frozen pauses the E×D target search (supervisory freeze).
+	frozen bool
+
 	// Per-step scratch buffers.
 	tg      []float64
 	meas    [3]float64
@@ -259,9 +350,24 @@ type osSSVSession struct {
 	applied [3]float64
 }
 
+func (o *osSSVSession) setSearchFrozen(f bool) { o.frozen = f }
+
+func (o *osSSVSession) reseed(s board.Sensors, b *board.Board) {
+	pl := b.Placement()
+	o.applied = [3]float64{float64(pl.ThreadsBig), pl.ThreadsPerBigCore, pl.ThreadsPerLittleCore}
+	_ = o.rt.Reseed(o.applied[:])
+	o.inited = false
+	o.cost = costGuard{}
+}
+
+func (o *osSSVSession) controllerHealth() supervisor.Health { return ssvHealth(o.rt.Health()) }
+
 func (o *osSSVSession) Step(s board.Sensors, b *board.Board, threads int) {
-	tg := o.opt.UpdateInto(o.tg, o.cost.guard(exdProxy(s, o.base)))
-	o.tg = tg
+	tg := o.tg
+	if !o.frozen || tg == nil {
+		tg = o.opt.UpdateInto(o.tg, o.cost.guard(exdProxy(s, o.base)))
+		o.tg = tg
+	}
 	// Reference governor, as in the hardware layer: cluster performance
 	// targets track measured values instead of running open-loop ahead.
 	if !o.inited {
@@ -365,6 +471,44 @@ func (sp *splitSession) Step(s board.Sensors, b *board.Board, threads int) {
 	sp.os.Step(s, b, threads)
 }
 
+func (sp *splitSession) setSearchFrozen(f bool) {
+	if fz, ok := sp.hw.(searchFreezer); ok {
+		fz.setSearchFrozen(f)
+	}
+	if fz, ok := sp.os.(searchFreezer); ok {
+		fz.setSearchFrozen(f)
+	}
+}
+
+func (sp *splitSession) setFreqCeiling(bigGHz, littleGHz float64) {
+	if fl, ok := sp.hw.(freqLimiter); ok {
+		fl.setFreqCeiling(bigGHz, littleGHz)
+	}
+	if fl, ok := sp.os.(freqLimiter); ok {
+		fl.setFreqCeiling(bigGHz, littleGHz)
+	}
+}
+
+func (sp *splitSession) reseed(s board.Sensors, b *board.Board) {
+	if r, ok := sp.hw.(reseedable); ok {
+		r.reseed(s, b)
+	}
+	if r, ok := sp.os.(reseedable); ok {
+		r.reseed(s, b)
+	}
+}
+
+func (sp *splitSession) controllerHealth() supervisor.Health {
+	var h supervisor.Health
+	if hp, ok := sp.hw.(healthProbe); ok {
+		h = mergeHealth(h, hp.controllerHealth())
+	}
+	if hp, ok := sp.os.(healthProbe); ok {
+		h = mergeHealth(h, hp.controllerHealth())
+	}
+	return h
+}
+
 // heurOSAdapter adapts a heuristic OS controller to the Session interface.
 type heurOSAdapter struct {
 	os interface {
@@ -385,18 +529,38 @@ type monoLQGSession struct {
 	base  float64
 	cost  costGuard
 
+	// frozen pauses both E×D target searches (supervisory freeze).
+	frozen bool
+
 	// Per-step scratch buffers.
 	tg, og  []float64
 	targets [7]float64
 	meas    [7]float64
+	applied [7]float64
 }
 
+func (m *monoLQGSession) setSearchFrozen(f bool) { m.frozen = f }
+
+func (m *monoLQGSession) reseed(s board.Sensors, b *board.Board) {
+	pl := b.Placement()
+	m.applied = [7]float64{float64(b.BigCores()), float64(b.LittleCores()),
+		b.EffectiveBigFreq(), b.EffectiveLittleFreq(),
+		float64(pl.ThreadsBig), pl.ThreadsPerBigCore, pl.ThreadsPerLittleCore}
+	_ = m.rt.Reseed(m.applied[:])
+	m.cost = costGuard{}
+}
+
+func (m *monoLQGSession) controllerHealth() supervisor.Health { return lqgHealth(m.rt.Health()) }
+
 func (m *monoLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
-	exd := m.cost.guard(exdProxy(s, m.base))
-	tg := m.opt.UpdateInto(m.tg, exd)
-	m.tg = tg
-	og := m.osOpt.UpdateInto(m.og, exd)
-	m.og = og
+	tg, og := m.tg, m.og
+	if !m.frozen || tg == nil || og == nil {
+		exd := m.cost.guard(exdProxy(s, m.base))
+		tg = m.opt.UpdateInto(m.tg, exd)
+		m.tg = tg
+		og = m.osOpt.UpdateInto(m.og, exd)
+		m.og = og
+	}
 	m.targets = [7]float64{tg[0], tg[1], tg[2], tempTargetC, og[0], og[1], og[2]}
 	if err := m.rt.SetTargets(m.targets[:]); err != nil {
 		return
@@ -441,17 +605,46 @@ type decoupLQGSession struct {
 	base   float64
 	cost   costGuard
 
+	// frozen pauses both E×D target searches (supervisory freeze).
+	frozen bool
+
 	// Per-step scratch buffers.
 	tg, og    []float64
 	hwTargets [4]float64
 	hwMeas    [4]float64
 	osMeas    [3]float64
+	hwApplied [4]float64
+	osApplied [3]float64
+}
+
+func (d *decoupLQGSession) setSearchFrozen(f bool) { d.frozen = f }
+
+func (d *decoupLQGSession) reseed(s board.Sensors, b *board.Board) {
+	pl := b.Placement()
+	d.hwApplied = [4]float64{float64(b.BigCores()), float64(b.LittleCores()),
+		b.EffectiveBigFreq(), b.EffectiveLittleFreq()}
+	d.osApplied = [3]float64{float64(pl.ThreadsBig), pl.ThreadsPerBigCore, pl.ThreadsPerLittleCore}
+	_ = d.hw.Reseed(d.hwApplied[:])
+	_ = d.os.Reseed(d.osApplied[:])
+	d.cost = costGuard{}
+}
+
+func (d *decoupLQGSession) controllerHealth() supervisor.Health {
+	return mergeHealth(lqgHealth(d.hw.Health()), lqgHealth(d.os.Health()))
 }
 
 func (d *decoupLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
-	exd := d.cost.guard(exdProxy(s, d.base))
-	tg := d.hwOpt.UpdateInto(d.tg, exd)
-	d.tg = tg
+	var exd float64
+	haveExd := false
+	if !d.frozen || d.tg == nil || d.og == nil {
+		exd = d.cost.guard(exdProxy(s, d.base))
+		haveExd = true
+	}
+	tg := d.tg
+	if haveExd {
+		tg = d.hwOpt.UpdateInto(d.tg, exd)
+		d.tg = tg
+	}
 	d.hwTargets = [4]float64{tg[0], tg[1], tg[2], tempTargetC}
 	if err := d.hw.SetTargets(d.hwTargets[:]); err != nil {
 		return
@@ -460,8 +653,11 @@ func (d *decoupLQGSession) Step(s board.Sensors, b *board.Board, threads int) {
 	if u, err := d.hw.Step(d.hwMeas[:], nil); err == nil {
 		applyHW(b, u)
 	}
-	og := d.osOpt.UpdateInto(d.og, exd)
-	d.og = og
+	og := d.og
+	if haveExd {
+		og = d.osOpt.UpdateInto(d.og, exd)
+		d.og = og
+	}
 	if err := d.os.SetTargets(og); err != nil {
 		return
 	}

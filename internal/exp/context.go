@@ -30,6 +30,10 @@ type Context struct {
 	// Seed is the base seed of the harness's seeded components (fault
 	// campaigns and workload disturbances); see Options.Seed.
 	Seed int64
+
+	// Supervise adds the supervised SSV scheme to the robustness sweep; see
+	// Options.Supervise.
+	Supervise bool
 }
 
 // NewContext builds the platform (identification plus model fitting) with
@@ -48,7 +52,7 @@ func NewContextWithOptions(opt Options) (*Context, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Context{P: p, Parallelism: opt.Parallelism, Seed: seed}, nil
+	return &Context{P: p, Parallelism: opt.Parallelism, Seed: seed, Supervise: opt.Supervise}, nil
 }
 
 // DefaultHWParamsForBench re-exports the Table II defaults for the

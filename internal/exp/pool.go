@@ -21,6 +21,11 @@ type Options struct {
 	// derive their own streams from it, so one seed fixes every random draw
 	// in the harness regardless of parallelism. 0 means seed 1.
 	Seed int64
+
+	// Supervise adds the supervised SSV scheme (the supervisory safety layer
+	// wrapping the full SSV stack) to the robustness sweep and enables the
+	// supervisor-accounting section of its table.
+	Supervise bool
 }
 
 // workers resolves the context's parallelism setting to a concrete count.

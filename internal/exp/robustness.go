@@ -7,6 +7,7 @@ import (
 	"yukta/internal/core"
 	"yukta/internal/fault"
 	"yukta/internal/series"
+	"yukta/internal/supervisor"
 	"yukta/internal/workload"
 )
 
@@ -15,14 +16,20 @@ import (
 // run in addition).
 func DefaultIntensities() []float64 { return []float64{0.25, 0.5, 1.0} }
 
-// robustSchemes returns the three controller families the fault sweep
-// compares: the heuristic baseline, the LQG baseline and the full SSV stack.
+// robustSchemes returns the controller families the fault sweep compares:
+// the heuristic baseline, the LQG baseline and the full SSV stack — plus,
+// when Context.Supervise is set, the SSV stack under the supervisory safety
+// layer.
 func (c *Context) robustSchemes() []core.Scheme {
-	return []core.Scheme{
+	schemes := []core.Scheme{
 		c.P.CoordinatedHeuristic(),
 		c.P.MonolithicLQG(),
 		c.P.YuktaFullSSV(core.DefaultHWParams(), core.DefaultOSParams()),
 	}
+	if c.Supervise {
+		schemes = append(schemes, c.P.SupervisedYuktaSSV(core.DefaultHWParams(), core.DefaultOSParams()))
+	}
+	return schemes
 }
 
 // RobustnessTable is the scheme × fault-intensity degradation table the
@@ -47,6 +54,11 @@ type RobustnessTable struct {
 	// Faults[k] totals the injected faults at Intensities[k] across all
 	// schemes and apps.
 	Faults []fault.Stats
+	// Supervised[scheme][k] aggregates the supervisory accounting of a
+	// supervised scheme's runs: index 0 is the clean level, then one entry
+	// per intensity. Empty for sweeps without supervised schemes, keeping
+	// their rendered tables unchanged.
+	Supervised map[string][]SupervisorAgg
 	// Incomplete counts runs that hit the MaxTime abort instead of
 	// finishing their work (their E×D still enters the table, charged at
 	// the aborted horizon).
@@ -82,6 +94,29 @@ func (r *RobustnessTable) Render() string {
 			fmt.Sprint(f.HeldCommands), fmt.Sprint(f.SkewedCommands), fmt.Sprint(f.ForcedThrottles))
 	}
 	ft.Render(&sb)
+	if len(r.Supervised) > 0 {
+		sb.WriteString("\nsupervisor accounting (trips / time-in-fallback / mean recovery latency):\n")
+		st := &series.Table{Header: append([]string{"scheme", "clean"},
+			func() []string {
+				h := make([]string, len(r.Intensities))
+				for i, s := range r.Intensities {
+					h[i] = fmt.Sprintf("s=%.2f", s)
+				}
+				return h
+			}()...)}
+		for _, sch := range r.Schemes {
+			aggs, ok := r.Supervised[sch]
+			if !ok {
+				continue
+			}
+			row := []string{sch}
+			for _, a := range aggs {
+				row = append(row, a.render())
+			}
+			st.AddRow(row...)
+		}
+		st.Render(&sb)
+	}
 	if r.Incomplete > 0 {
 		fmt.Fprintf(&sb, "\n%d run(s) aborted at the time limit.\n", r.Incomplete)
 	}
@@ -118,6 +153,8 @@ func (c *Context) RobustnessSweep(apps []string, intensities []float64) (*Robust
 		exd       float64
 		completed bool
 		stats     fault.Stats
+		sup       *supervisor.Stats
+		intervalS float64
 	}
 	nPer := len(schemes) * len(apps)
 	results := make([]cell, len(levels)*nPer)
@@ -135,7 +172,8 @@ func (c *Context) RobustnessSweep(apps []string, intensities []float64) (*Robust
 		if err != nil {
 			return fmt.Errorf("exp: %s on %s at intensity %.2f: %w", sch.Name, app, s, err)
 		}
-		results[i] = cell{exd: res.ExD, completed: res.Completed, stats: res.Faults}
+		results[i] = cell{exd: res.ExD, completed: res.Completed, stats: res.Faults,
+			sup: res.Supervisor, intervalS: res.IntervalS}
 		return nil
 	})
 	if err != nil {
@@ -190,6 +228,25 @@ func (c *Context) RobustnessSweep(apps []string, intensities []float64) (*Robust
 			}
 		}
 		out.Faults[k] = tot
+	}
+	for si, name := range names {
+		supervised := false
+		aggs := make([]SupervisorAgg, len(levels))
+		for level := range levels {
+			for ai := range apps {
+				c := at(level, si, ai)
+				if c.sup != nil {
+					supervised = true
+					aggs[level].add(*c.sup, c.intervalS)
+				}
+			}
+		}
+		if supervised {
+			if out.Supervised == nil {
+				out.Supervised = map[string][]SupervisorAgg{}
+			}
+			out.Supervised[name] = aggs
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSupervisedClassSweep is the acceptance gate of the supervisory layer:
+// at the shipped class intensity, supervised SSV must degrade strictly less
+// than unsupervised SSV for the dropout, actuator and thermal (forced TMU)
+// classes, and the clean supervised runs must record zero trips.
+func TestSupervisedClassSweep(t *testing.T) {
+	c := testContext(t)
+	ct, err := c.SupervisedClassSweep(quickApps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.CleanStats.Trips != 0 {
+		t.Errorf("clean supervised runs recorded %d trips, want 0", ct.CleanStats.Trips)
+	}
+	idx := map[string]int{}
+	for k, cls := range ct.Classes {
+		idx[cls] = k
+	}
+	for _, cls := range []string{"dropout", "actuator", "thermal"} {
+		k, ok := idx[cls]
+		if !ok {
+			t.Fatalf("class %q missing from sweep", cls)
+		}
+		if ct.SupDegradation[k] >= ct.UnsupDegradation[k] {
+			t.Errorf("%s: supervised %.3f not strictly below unsupervised %.3f",
+				cls, ct.SupDegradation[k], ct.UnsupDegradation[k])
+		}
+	}
+	out := ct.Render()
+	for _, want := range []string{"dropout", "trips / fallback / recovery", "clean supervised runs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+// TestSupervisedSweepParallelDeterminism extends the harness determinism
+// guarantee to the supervised sweep: the supervisory state machine lives
+// inside each session, so the rendered class table must be byte-identical
+// run sequentially and with a worker pool.
+func TestSupervisedSweepParallelDeterminism(t *testing.T) {
+	c := testContext(t)
+	apps := []string{"gamess", "streamcluster"}
+	seq := &Context{P: c.P, Seed: c.Seed, Parallelism: 1}
+	par := &Context{P: c.P, Seed: c.Seed, Parallelism: 3}
+
+	ctS, err := seq.SupervisedClassSweep(apps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctP, err := par.SupervisedClassSweep(apps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ctP.Render(), ctS.Render(); got != want {
+		t.Errorf("rendered class tables differ:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+}

@@ -204,6 +204,45 @@ type Injector struct {
 	stats Stats
 }
 
+// RunKey builds the canonical run key for a (scheme, app) pair. The
+// separator is a NUL byte, which neither scheme names nor app names contain,
+// so the encoding is injective: distinct pairs can never alias to the same
+// key (a plain "|" separator would let ("x|y", "z") and ("x", "y|z")
+// collide and share fault streams).
+func RunKey(scheme, app string) string {
+	return scheme + "\x00" + app
+}
+
+// ClassNames lists the isolated fault-class presets PresetClass accepts, in
+// the order the per-class tables report them, plus the combined "all".
+func ClassNames() []string {
+	return []string{"noise", "dropout", "actuator", "thermal", "phase", "all"}
+}
+
+// PresetClass returns the Preset plan at intensity s restricted to a single
+// fault class ("all" returns the full preset; see ClassNames). Unknown class
+// names return the empty plan. Isolating classes is how the supervised
+// degradation table attributes wins and losses per failure mode.
+func PresetClass(seed int64, s float64, class string) Plan {
+	full := Preset(seed, s)
+	out := Plan{Seed: seed}
+	switch class {
+	case "noise":
+		out.Noise = full.Noise
+	case "dropout":
+		out.Dropout = full.Dropout
+	case "actuator":
+		out.Actuator = full.Actuator
+	case "thermal":
+		out.Thermal = full.Thermal
+	case "phase":
+		out.Phase = full.Phase
+	case "all":
+		return full
+	}
+	return out
+}
+
 // derive builds a per-class seed from the plan seed, the run key and a
 // class tag, via FNV-1a.
 func derive(seed int64, runKey string, class string) int64 {
@@ -215,8 +254,8 @@ func derive(seed int64, runKey string, class string) int64 {
 }
 
 // NewInjector derives the run's injector from the plan seed and the run key
-// (conventionally "scheme|app"). Equal (plan, key) pairs yield identical
-// fault sequences.
+// (conventionally RunKey(scheme, app)). Equal (plan, key) pairs yield
+// identical fault sequences.
 func (p Plan) NewInjector(runKey string) *Injector {
 	in := &Injector{
 		plan:     p,

@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzClassStreamDistinct fuzzes the per-class seed derivation with pairs of
+// (scheme, app, class) triples: identical triples must derive identical
+// seeds, and distinct triples must never yield identical RNG streams. The
+// second seed corpus entry is the historical "|"-separator collision
+// (("x|y","z") vs ("x","y|z")) that motivated the NUL-separated RunKey.
+func FuzzClassStreamDistinct(f *testing.F) {
+	f.Add("Yukta: HW SSV+OS SSV", "gamess", "noise", "Yukta: HW SSV+OS SSV", "gamess", "dropout", int64(1))
+	f.Add("x|y", "z", "noise", "x", "y|z", "noise", int64(1))
+	f.Add("a", "b", "thermal", "a", "b", "thermal", int64(7))
+	f.Add("", "", "", "", "", "actuator", int64(0))
+	f.Fuzz(func(t *testing.T, s1, a1, c1, s2, a2, c2 string, seed int64) {
+		for _, s := range []string{s1, a1, c1, s2, a2, c2} {
+			if strings.ContainsRune(s, 0) {
+				t.Skip("NUL is the reserved key separator")
+			}
+		}
+		same := s1 == s2 && a1 == a2 && c1 == c2
+		d1 := derive(seed, RunKey(s1, a1), c1)
+		d2 := derive(seed, RunKey(s2, a2), c2)
+		if same {
+			if d1 != d2 {
+				t.Fatalf("identical triples derived different seeds: %d vs %d", d1, d2)
+			}
+			return
+		}
+		if d1 == d2 {
+			t.Fatalf("distinct triples (%q,%q,%q) vs (%q,%q,%q) derived the same seed %d",
+				s1, a1, c1, s2, a2, c2, d1)
+		}
+		r1 := rand.New(rand.NewSource(d1))
+		r2 := rand.New(rand.NewSource(d2))
+		equal := true
+		for i := 0; i < 16; i++ {
+			if r1.Uint64() != r2.Uint64() {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			t.Fatalf("distinct triples (%q,%q,%q) vs (%q,%q,%q) yielded identical streams",
+				s1, a1, c1, s2, a2, c2)
+		}
+	})
+}

@@ -25,6 +25,8 @@ import (
 // 3.3 W big, 0.33 W little, 79 °C — just below the firmware emergency
 // thresholds).
 type Limits struct {
+	// BigPowerW, LittlePowerW and TempC are the per-cluster power caps in
+	// watts and the temperature cap in °C.
 	BigPowerW, LittlePowerW, TempC float64
 }
 
@@ -38,9 +40,28 @@ func DefaultLimits() Limits {
 // using the thread distribution (the OS layer's actuations) to decide how
 // many cores each cluster needs.
 type CoordinatedHW struct {
+	// Lim holds the safe operating limits the controller enforces.
 	Lim Limits
+	// Conservative bounds the racing climb by a frequency ceiling captured
+	// at engagement (SeedCeiling): the controller still backs off on
+	// violations and recovers toward the ceiling when safe, but never
+	// chases performance above the operating point it was handed. This is
+	// the posture a supervisory fallback wants — hold the last point the
+	// plant is known to tolerate rather than race into a compromised one.
+	Conservative bool
 
-	tick int
+	ceilBig, ceilLittle float64
+	haveCeil            bool
+	tick                int
+}
+
+// SeedCeiling sets the conservative climb ceiling from the frequencies
+// currently in effect on the plant (a supervisory bumpless transfer passes
+// the effective, post-throttle values). Non-positive values leave the
+// corresponding cluster unbounded.
+func (c *CoordinatedHW) SeedCeiling(bigGHz, littleGHz float64) {
+	c.ceilBig, c.ceilLittle = bigGHz, littleGHz
+	c.haveCeil = true
 }
 
 // Step implements one control interval.
@@ -71,8 +92,17 @@ func (c *CoordinatedHW) Step(s board.Sensors, b *board.Board) {
 			set(math.Min(freq+2*step, fmax))
 		}
 	}
-	adjust(s.BigPowerW, c.Lim.BigPowerW, b.BigFreq(), cfg.Big.FreqStepGHz, cfg.Big.FreqMaxGHz, b.SetBigFreq)
-	adjust(s.LittlePowerW, c.Lim.LittlePowerW, b.LittleFreq(), cfg.Little.FreqStepGHz, cfg.Little.FreqMaxGHz, b.SetLittleFreq)
+	fmaxBig, fmaxLittle := cfg.Big.FreqMaxGHz, cfg.Little.FreqMaxGHz
+	if c.Conservative && c.haveCeil {
+		if c.ceilBig > 0 {
+			fmaxBig = math.Min(fmaxBig, c.ceilBig)
+		}
+		if c.ceilLittle > 0 {
+			fmaxLittle = math.Min(fmaxLittle, c.ceilLittle)
+		}
+	}
+	adjust(s.BigPowerW, c.Lim.BigPowerW, b.BigFreq(), cfg.Big.FreqStepGHz, fmaxBig, b.SetBigFreq)
+	adjust(s.LittlePowerW, c.Lim.LittlePowerW, b.LittleFreq(), cfg.Little.FreqStepGHz, fmaxLittle, b.SetLittleFreq)
 
 	// Temperature overrides: the big cluster dominates the hot spot.
 	if s.TempC > c.Lim.TempC {
@@ -93,6 +123,19 @@ type CoordinatedOS struct {
 
 	tbNow   int
 	started bool
+}
+
+// SeedPlacement initializes the migration-rate-limited placement state from
+// the split currently in effect on the board, so a scheduler engaged
+// mid-run (a supervisory bumpless transfer) walks from the plant's real
+// thread distribution instead of snapping to its own cold-start target in
+// one interval.
+func (c *CoordinatedOS) SeedPlacement(threadsBig int) {
+	if threadsBig < 0 {
+		threadsBig = 0
+	}
+	c.tbNow = threadsBig
+	c.started = true
 }
 
 // Step implements one control interval; threads is the number of runnable
@@ -163,6 +206,7 @@ func (c *CoordinatedOS) Step(s board.Sensors, b *board.Board, threads int) {
 // sustained deep throttle it additionally offlines a big core ("reduces
 // frequency first, then #cores"), restoring it once the cap clears.
 type DecoupledHW struct {
+	// Lim holds the limits the firmware heuristics underneath enforce.
 	Lim Limits
 
 	deepThrottleIntervals int

@@ -161,3 +161,22 @@ func TestDecoupledHWRequestsMax(t *testing.T) {
 		t.Fatalf("governor should request max: %v GHz, %d cores", b.BigFreq(), b.BigCores())
 	}
 }
+
+func TestCoordinatedOSSeedPlacement(t *testing.T) {
+	b := board.New(board.DefaultConfig())
+	osc := &CoordinatedOS{}
+	// Seeded at 2 big threads, the rate-limited balancer must walk toward
+	// the 8-thread big-first target one migration per interval, not snap.
+	osc.SeedPlacement(2)
+	osc.Step(board.Sensors{}, b, 8)
+	if p := b.Placement(); p.ThreadsBig != 3 {
+		t.Fatalf("threadsBig after one step = %d, want 3 (seeded 2 + one migration)", p.ThreadsBig)
+	}
+	// Negative seeds clamp to zero.
+	osc2 := &CoordinatedOS{}
+	osc2.SeedPlacement(-4)
+	osc2.Step(board.Sensors{}, b, 8)
+	if p := b.Placement(); p.ThreadsBig != 1 {
+		t.Fatalf("threadsBig after negative seed = %d, want 1", p.ThreadsBig)
+	}
+}

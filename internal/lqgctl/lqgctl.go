@@ -39,6 +39,11 @@ type Runtime struct {
 	havePhys  bool
 	heldSteps int
 
+	// lastRaw is the previous raw (pre-rounding) physical command, kept for
+	// health introspection.
+	lastRaw []float64
+	stepped bool
+
 	// Per-step scratch buffers so the 500 ms control loop does not allocate.
 	dy, u, du, ax, bdy, phys []float64
 }
@@ -46,11 +51,15 @@ type Runtime struct {
 // Config wires the controller to its physical signals; identical shape to
 // the SSV runtime so schemes can be built uniformly.
 type Config struct {
-	Controller     *robust.Controller
+	// Controller is the synthesized LQG controller to run.
+	Controller *robust.Controller
+	// OutputScales, ExternalScales and InputScales give the physical range
+	// of each signal in the order the model was identified.
 	OutputScales   []sysid.Scaling
-	ExternalScales []sysid.Scaling
-	InputScales    []sysid.Scaling
-	InputLevels    [][]float64
+	ExternalScales []sysid.Scaling // physical range of each external input
+	InputScales    []sysid.Scaling // physical range of each control input
+	// InputLevels lists the allowed physical values of each control input.
+	InputLevels [][]float64
 }
 
 // New validates the wiring.
@@ -83,6 +92,7 @@ func New(cfg Config) (*Runtime, error) {
 		ax:       make([]float64, c.K.Order()),
 		bdy:      make([]float64, c.K.Order()),
 		phys:     make([]float64, c.NumCtrl),
+		lastRaw:  make([]float64, c.NumCtrl),
 	}, nil
 }
 
@@ -146,6 +156,7 @@ func (r *Runtime) Step(measurements, externals []float64) ([]float64, error) {
 	wasted := false
 	for i := range phys {
 		raw := r.inScale[i].Denormalize(u[i])
+		r.lastRaw[i] = raw
 		lv := r.levels[i]
 		if raw < lv[0]-0.25*(lv[len(lv)-1]-lv[0]) || raw > lv[len(lv)-1]+0.25*(lv[len(lv)-1]-lv[0]) {
 			// The controller is commanding far beyond the physical range:
@@ -156,6 +167,7 @@ func (r *Runtime) Step(measurements, externals []float64) ([]float64, error) {
 		phys[i] = nearest(lv, raw)
 	}
 	r.totalSteps++
+	r.stepped = true
 	if wasted {
 		r.wastedSteps++
 	}
@@ -190,6 +202,72 @@ func (r *Runtime) Reset() {
 	r.lastPhys = nil
 	r.havePhys = false
 	r.heldSteps = 0
+	r.stepped = false
+	for i := range r.lastRaw {
+		r.lastRaw[i] = 0
+	}
+}
+
+// Reseed prepares the runtime for bumpless re-engagement: Reset plus
+// hold-last-good state seeded from the actuator values currently applied to
+// the plant (snapped to each input's level set), so a sensor dropout on the
+// very first post-reseed interval repeats the plant's real operating point.
+// Unlike the SSV runtime there is no quantizer hysteresis to seed — the LQG
+// baseline rounds from scratch every interval. A nil applied behaves exactly
+// like Reset.
+func (r *Runtime) Reseed(applied []float64) error {
+	if applied != nil && len(applied) != len(r.levels) {
+		return fmt.Errorf("lqgctl: %d applied values for %d controls", len(applied), len(r.levels))
+	}
+	r.Reset()
+	if applied == nil {
+		return nil
+	}
+	r.lastPhys = make([]float64, len(applied))
+	for i, v := range applied {
+		r.lastPhys[i] = nearest(r.levels[i], v)
+	}
+	r.havePhys = true
+	return nil
+}
+
+// Health is the runtime's self-diagnosis snapshot for a supervisory layer;
+// the same shape as the SSV runtime's so a wrapper can merge the two. The
+// baseline has no guardband monitor, so GuardbandExceeded is always false.
+type Health struct {
+	// GuardbandExceeded is always false (no guardband synthesis for LQG).
+	GuardbandExceeded bool
+	// HeldSteps mirrors HeldSteps().
+	HeldSteps int
+	// Railed reports a raw command beyond the physical level range by more
+	// than half the range's span.
+	Railed bool
+	// NonFinite reports NaN/Inf in the latest raw command.
+	NonFinite bool
+}
+
+// Health returns the runtime's current health snapshot.
+func (r *Runtime) Health() Health {
+	h := Health{HeldSteps: r.heldSteps}
+	if !r.stepped {
+		return h
+	}
+	for i, raw := range r.lastRaw {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			h.NonFinite = true
+			continue
+		}
+		lv := r.levels[i]
+		lo, hi := lv[0], lv[len(lv)-1]
+		span := hi - lo
+		if span <= 0 {
+			span = math.Max(math.Abs(hi), 1)
+		}
+		if raw < lo-0.5*span || raw > hi+0.5*span {
+			h.Railed = true
+		}
+	}
+	return h
 }
 
 // finiteAll reports whether every element of v is a finite number.

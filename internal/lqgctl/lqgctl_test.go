@@ -182,3 +182,51 @@ func TestLQGStepHoldsOnNonFiniteInputs(t *testing.T) {
 		t.Fatalf("first-interval dropout command %v, want 1.4", u[0])
 	}
 }
+
+func TestLQGReseedAndHealth(t *testing.T) {
+	r := runtimeFor(t, lqgController(t))
+	if err := r.SetTargets([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Health(); h != (Health{}) {
+		t.Fatalf("fresh Health = %+v, want zero", h)
+	}
+	// Wind up hard, then confirm the health snapshot sees the rail.
+	for i := 0; i < 200; i++ {
+		if _, err := r.Step([]float64{0}, []float64{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Health().Railed {
+		t.Fatal("wound-up LQG must report Railed (no anti-windup)")
+	}
+	// Reseed: health clears, and a dropout on the first post-reseed interval
+	// repeats the seeded operating point instead of the mid-range default.
+	if err := r.Reseed([]float64{0.55}); err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Health(); h != (Health{}) {
+		t.Fatalf("Health after Reseed = %+v, want zero", h)
+	}
+	u, err := r.Step([]float64{math.NaN()}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 0.6 {
+		t.Fatalf("post-reseed dropout command %v, want seeded level 0.6", u[0])
+	}
+	if err := r.Reseed([]float64{1, 2}); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if err := r.Reseed(nil); err != nil {
+		t.Fatal(err)
+	}
+	// White-box classification: NaN raw reads as NonFinite, not Railed.
+	if _, err := r.Step([]float64{5}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	r.lastRaw[0] = math.NaN()
+	if h := r.Health(); !h.NonFinite || h.Railed {
+		t.Fatalf("NaN raw Health = %+v, want NonFinite only", h)
+	}
+}

@@ -66,12 +66,13 @@ type Runtime struct {
 
 // Config wires a synthesized controller to its physical signals.
 type Config struct {
+	// Controller is the synthesized SSV controller to run.
 	Controller *robust.Controller
 	// OutputScales, ExternalScales and InputScales give the physical range
 	// of each signal in the order the model was identified.
 	OutputScales   []sysid.Scaling
-	ExternalScales []sysid.Scaling
-	InputScales    []sysid.Scaling
+	ExternalScales []sysid.Scaling // physical range of each external input
+	InputScales    []sysid.Scaling // physical range of each control input
 	// InputLevels lists the allowed physical values of each control input
 	// (saturation and quantization, paper §II-B).
 	InputLevels [][]float64
@@ -382,6 +383,95 @@ func (r *Runtime) Reset() {
 	r.exceedStreak = 0
 	r.exceeded = false
 	r.heldSteps = 0
+}
+
+// Reseed prepares the runtime for bumpless re-engagement after a fallback
+// episode: it clears the controller state, integrators and health monitors
+// like Reset, then seeds the quantizer hysteresis from the actuator values
+// currently applied to the plant (snapped to each input's level set). The
+// first post-reseed Step therefore moves relative to the plant's real
+// operating point instead of jumping to whatever the stale state vector
+// would command. A nil applied behaves exactly like Reset.
+func (r *Runtime) Reseed(applied []float64) error {
+	if applied != nil && len(applied) != len(r.levels) {
+		return fmt.Errorf("ssvctl: %d applied values for %d controls", len(applied), len(r.levels))
+	}
+	r.Reset()
+	if applied == nil {
+		return nil
+	}
+	n := len(r.levels)
+	r.lastU = make([]float64, n)
+	r.prevU = make([]float64, n)
+	r.changeAt = make([]int, n)
+	for i := range r.lastU {
+		r.lastU[i] = nearestLevel(r.levels[i], applied[i])
+		r.prevU[i] = r.lastU[i]
+		r.changeAt[i] = -dwellSteps
+		r.lastRaw[i] = r.lastU[i]
+	}
+	r.haveU = true
+	// Bumpless transfer: move the integrator states so the re-engaged
+	// controller's zero-deviation command equals the applied operating point
+	// (u = -Ki xi, so xi = -Ki^+ u_applied — the same pseudo-inverse the
+	// anti-windup correction uses). Without this the first post-reseed
+	// command would snap to the mid-range the zero state encodes.
+	if r.intInv != nil {
+		for i := range r.diff {
+			r.diff[i] = r.inScale[i].Normalize(r.lastU[i])
+		}
+		corr := r.intInv.MulVecTo(r.corr, r.diff)
+		for i := 0; i < r.ctl.IntCount; i++ {
+			r.state[r.ctl.IntStart+i] -= corr[i]
+		}
+	}
+	return nil
+}
+
+// Health is the runtime's self-diagnosis snapshot for a supervisory layer.
+type Health struct {
+	// GuardbandExceeded mirrors GuardbandExceeded(): sustained deviations
+	// beyond the synthesis' guaranteed bounds.
+	GuardbandExceeded bool
+	// ExceedStreak is the current run of consecutive intervals whose
+	// deviations exceeded the guaranteed bounds (zero when the latest
+	// interval was back inside them). Unlike the latched GuardbandExceeded,
+	// it distinguishes an ongoing excursion from an old one.
+	ExceedStreak int
+	// HeldSteps mirrors HeldSteps(): cumulative intervals skipped on
+	// non-finite sensor readings.
+	HeldSteps int
+	// Railed reports that some channel's latest raw command sat beyond its
+	// physical level range by more than half the range's span — the
+	// controller is not merely saturating but pushing far outside the
+	// actuator's reality.
+	Railed bool
+	// NonFinite reports that the latest raw command contained NaN/Inf.
+	NonFinite bool
+}
+
+// Health returns the runtime's current health snapshot.
+func (r *Runtime) Health() Health {
+	h := Health{GuardbandExceeded: r.exceeded, ExceedStreak: r.exceedStreak, HeldSteps: r.heldSteps}
+	if r.step == 0 {
+		return h
+	}
+	for i, raw := range r.lastRaw {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			h.NonFinite = true
+			continue
+		}
+		ls := r.levels[i]
+		lo, hi := ls[0], ls[len(ls)-1]
+		span := hi - lo
+		if span <= 0 {
+			span = math.Max(math.Abs(hi), 1)
+		}
+		if raw < lo-0.5*span || raw > hi+0.5*span {
+			h.Railed = true
+		}
+	}
+	return h
 }
 
 // finiteAll reports whether every element of v is a finite number.

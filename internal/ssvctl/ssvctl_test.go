@@ -290,3 +290,109 @@ func TestStepHoldsOnNonFiniteInputs(t *testing.T) {
 		t.Fatal("Reset did not clear HeldSteps")
 	}
 }
+
+func TestResetClearsHealthCounters(t *testing.T) {
+	// Regression: a reused session must not inherit stale health signals.
+	// Reset has to clear the sticky guardband latch, the partial exceed
+	// streak, and the held-interval counter.
+	r := runtimeFor(t, synthController(t))
+	if err := r.SetTargets([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := r.Step([]float64{10}, []float64{0}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Step([]float64{math.NaN()}, []float64{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !r.GuardbandExceeded() || r.HeldSteps() != 1 {
+		t.Fatalf("precondition: exceeded=%v held=%d", r.GuardbandExceeded(), r.HeldSteps())
+	}
+	r.Reset()
+	if r.GuardbandExceeded() || r.HeldSteps() != 0 {
+		t.Fatalf("Reset left stale health: exceeded=%v held=%d", r.GuardbandExceeded(), r.HeldSteps())
+	}
+	if h := r.Health(); h.GuardbandExceeded || h.HeldSteps != 0 || h.Railed || h.NonFinite {
+		t.Fatalf("Reset left stale Health() = %+v", h)
+	}
+	// The exceed streak must also restart from zero: 7 post-Reset wild
+	// intervals (one short of the 8-interval streak) must not latch even
+	// though 20 pre-Reset intervals came right before.
+	for i := 0; i < 7; i++ {
+		if _, err := r.Step([]float64{10}, []float64{0}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.GuardbandExceeded() {
+		t.Fatal("exceed streak survived Reset")
+	}
+}
+
+func TestReseedIsBumpless(t *testing.T) {
+	r := runtimeFor(t, synthController(t))
+	if err := r.SetTargets([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	// Wind the controller toward high commands.
+	for i := 0; i < 50; i++ {
+		if _, err := r.Step([]float64{0}, []float64{0}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-engage with the plant parked at a low operating point.
+	if err := r.Reseed([]float64{0.43}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := r.Step([]float64{5}, []float64{0}, nil) // on target: no error signal
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first post-reseed command must stay near the applied point (the
+	// quantizer hysteresis holds 0.4, snapped from 0.43), not jump back to
+	// the wound-up pre-reseed command.
+	if math.Abs(u[0]-0.4) > 0.11 {
+		t.Fatalf("first post-reseed command %v, want near seeded 0.4", u[0])
+	}
+	if err := r.Reseed([]float64{1, 2}); err == nil {
+		t.Fatal("expected arity error")
+	}
+	// Nil applied degrades to a plain Reset.
+	if err := r.Reseed(nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.Health() != (Health{}) {
+		t.Fatalf("Health after nil Reseed = %+v, want zero", r.Health())
+	}
+}
+
+func TestHealthReportsRail(t *testing.T) {
+	r := runtimeFor(t, synthController(t))
+	if err := r.SetTargets([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Health(); h != (Health{}) {
+		t.Fatalf("fresh Health = %+v, want zero", h)
+	}
+	if _, err := r.Step([]float64{4}, []float64{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Health(); h.Railed || h.NonFinite {
+		t.Fatalf("healthy step Health = %+v", h)
+	}
+	// White-box: classify the rail and non-finite conditions directly. The
+	// level range is [0.2, 2.0] (span 1.8), so the rail margin is ±0.9.
+	r.lastRaw[0] = 2.95
+	if !r.Health().Railed {
+		t.Fatal("raw 2.95 (past 2.0+0.9) must report Railed")
+	}
+	r.lastRaw[0] = 2.5
+	if r.Health().Railed {
+		t.Fatal("raw 2.5 (within the half-span margin) must not report Railed")
+	}
+	r.lastRaw[0] = math.NaN()
+	if h := r.Health(); !h.NonFinite || h.Railed {
+		t.Fatalf("NaN raw Health = %+v, want NonFinite only", h)
+	}
+}

@@ -1,0 +1,858 @@
+// Package supervisor is the supervisory safety layer above a controller
+// stack: a per-session state machine that watches controller health every
+// control interval and, when the model-based controller leaves its validity
+// envelope, hands the actuators to a safe fallback and later re-engages the
+// primary in stages (DESIGN.md §7).
+//
+// The paper ships the ODROID firmware's emergency heuristics underneath its
+// controllers as a last line of defense (§II, §V); this package is the layer
+// between the two — it reacts to controller sickness (non-finite or
+// rail-pinned commands, exhausted guardbands, divergence from the run's own
+// cost baseline, actuator chatter, sustained sensor dropout) before the
+// firmware has to, and unlike the firmware it restores the primary
+// controller deliberately: a quarantine of healthy fallback steps, a
+// bumpless state re-seed, and a slew-limited re-engagement window mirroring
+// the TMU's one-step-at-a-time un-throttle.
+//
+// The package is deliberately free of board and controller imports: the
+// wrapper (core's SupervisedScheme) distills each control interval into a
+// Sample, and the Monitor answers with the state the next interval must run
+// under. Everything is deterministic — no clocks, no RNG — so supervised
+// experiment sweeps stay byte-identical at any parallelism.
+package supervisor
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// State is the supervisory state machine's position:
+//
+//	Nominal → Suspect → Fallback → Recovering → Nominal
+//	   ↑________________________________|  (re-trip during recovery)
+//
+// Nominal and Suspect run the primary controller (Suspect means a soft trip
+// condition is active but not yet confirmed); Fallback runs the safe
+// fallback scheme; Recovering runs the re-seeded primary under a staged
+// authority clamp.
+type State int
+
+// The supervisory states, in transition order.
+const (
+	// Nominal: the primary controller is healthy and in authority.
+	Nominal State = iota
+	// Suspect: a soft trip condition is active; the primary keeps authority
+	// while the condition is confirmed over ConfirmSteps intervals.
+	Suspect
+	// Fallback: the primary tripped; the safe fallback scheme has authority.
+	Fallback
+	// Recovering: quarantine completed; the re-seeded primary has authority
+	// under a staged (slew-limited) re-engagement clamp.
+	Recovering
+)
+
+// String names the state for tables and logs.
+func (s State) String() string {
+	switch s {
+	case Nominal:
+		return "nominal"
+	case Suspect:
+		return "suspect"
+	case Fallback:
+		return "fallback"
+	case Recovering:
+		return "recovering"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Cause identifies which health detector confirmed a trip.
+type Cause int
+
+// Trip causes, in detector-priority order (the order they are evaluated and
+// the order stats tables report them).
+const (
+	// CauseNone means no trip.
+	CauseNone Cause = iota
+	// CauseNonFinite: the active controller emitted a NaN/Inf command, or the
+	// requested actuator state itself went non-finite. Trips immediately.
+	CauseNonFinite
+	// CauseGuardband: the runtime's guardband monitor latched — deviations
+	// persistently exceeded the synthesis' guaranteed bounds, so the modeled
+	// uncertainty is exhausted (paper §II-B).
+	CauseGuardband
+	// CauseRail: the raw (pre-saturation) command stayed pinned far beyond
+	// the physical actuator range for RailSteps consecutive intervals.
+	CauseRail
+	// CauseDivergence: the short-window cost proxy diverged from the run's
+	// own long-window baseline by more than DivergenceFactor.
+	CauseDivergence
+	// CauseChatter: an actuator channel reversed direction nearly every
+	// interval (a quantizer/controller limit cycle).
+	CauseChatter
+	// CauseDropout: the sensor path delivered no fresh data — non-finite or
+	// bit-for-bit stale readings — for DropoutTrip of the last DropoutWindow
+	// intervals. The primary is flying blind more than it is controlling.
+	CauseDropout
+	// CauseActuation: actuator write-verification failed — the applied
+	// operating point differed from the commanded one — for MismatchTrip of
+	// the last MismatchWindow intervals. The command path, not the
+	// controller, is broken, but the controller's authority is meaningless
+	// while its commands do not land.
+	CauseActuation
+	// CauseThrottle: suspicious firmware throttling — the thermal emergency
+	// path engaged while the temperature reading sat cool (a misreading
+	// diode or an externally forced cap) — persisted for ThrottleTrip of the
+	// last ThrottleWindow intervals. The firmware, not the primary, owns the
+	// operating point, so authority belongs with the fallback until the
+	// storm passes.
+	CauseThrottle
+	// CauseCount bounds the Cause enum (for stats arrays).
+	CauseCount
+)
+
+// String names the cause for tables and logs.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseNonFinite:
+		return "non-finite"
+	case CauseGuardband:
+		return "guardband"
+	case CauseRail:
+		return "rail-pinned"
+	case CauseDivergence:
+		return "divergence"
+	case CauseChatter:
+		return "chatter"
+	case CauseDropout:
+		return "dropout"
+	case CauseActuation:
+		return "actuation-fault"
+	case CauseThrottle:
+		return "throttle-storm"
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// Health is the controller-health snapshot the wrapper polls from the active
+// controller runtime(s) each interval (ssvctl.Runtime.Health and
+// lqgctl.Runtime.Health, merged across layers).
+type Health struct {
+	// GuardbandStreak is the runtime's current run of consecutive intervals
+	// whose deviations exceeded the synthesis' guaranteed bounds (it resets
+	// to zero the moment one interval is back inside them). The supervisor
+	// keys on this streak, not the runtime's latched exceeded flag: a single
+	// workload phase change early in a run must not condemn the controller
+	// for the rest of it.
+	GuardbandStreak int
+	// HeldSteps is the cumulative count of intervals the runtime skipped
+	// because its sensor view was non-finite.
+	HeldSteps int
+	// Railed reports that the latest raw command of some channel sat far
+	// beyond its physical level range.
+	Railed bool
+	// NonFinite reports that the latest raw command contained NaN/Inf.
+	NonFinite bool
+}
+
+// Sample distills one control interval for the monitor. The wrapper fills it
+// after the active session (primary or fallback) has stepped.
+type Sample struct {
+	// SensorsFinite reports whether every sensor reading was finite.
+	SensorsFinite bool
+	// PowerStale reports that both power readings repeated the previous
+	// interval's values bit-for-bit. The physical sense path never does that
+	// — powers are continuous functions of a continuously evolving plant —
+	// so an exact repeat is the signature of a latched sensor register; the
+	// interval carries no fresh power information.
+	PowerStale bool
+	// Throttled reports whether firmware emergency throttling is engaged.
+	Throttled bool
+	// ThermalThrottled reports whether specifically the thermal emergency
+	// path is engaged.
+	ThermalThrottled bool
+	// CommandMismatch reports that some actuator write this interval failed
+	// read-back verification: the applied value differed from the (clamped,
+	// quantized) requested one. Impossible on a healthy command path.
+	CommandMismatch bool
+	// TempC is the temperature reading (may be NaN under fault injection).
+	TempC float64
+	// CostProxy is the instantaneous E×D rate proxy (power over squared
+	// performance); may be non-finite when the sensor path dropped.
+	CostProxy float64
+	// Commands is the requested actuator state after the step:
+	// [bigCores, littleCores, bigFreqGHz, littleFreqGHz].
+	Commands [4]float64
+	// Health is the active controller's health snapshot (zero during
+	// Fallback — the heuristic has no runtime monitor).
+	Health Health
+}
+
+// Action is the monitor's verdict for one observed interval. State is the
+// state the NEXT interval must run under; the two flags tell the wrapper
+// which one-shot transfer work to perform before that interval.
+type Action struct {
+	// State the next control interval runs under.
+	State State
+	// Tripped: this step confirmed a trip. The wrapper must bumpless-
+	// initialize the fallback from the last physical commands now.
+	Tripped bool
+	// Cause of the trip when Tripped is set.
+	Cause Cause
+	// Reengage: quarantine completed this step. The wrapper must re-seed the
+	// primary's state from current measurements now.
+	Reengage bool
+	// BlockRaise: the no-raise authority clamp is armed for the next
+	// interval — the wrapper must veto upward frequency moves (see
+	// Config.DistrustHoldSteps).
+	BlockRaise bool
+}
+
+// Config tunes the monitor's detectors and recovery policy. All window and
+// streak lengths are in control intervals. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// WarmupSteps disarms the soft detectors for the first part of a run,
+	// while targets converge and the cost baseline forms.
+	WarmupSteps int
+	// ConfirmSteps is how many consecutive intervals a soft condition must
+	// persist (the Suspect state) before it trips.
+	ConfirmSteps int
+	// QuarantineSteps is how many consecutive healthy fallback intervals are
+	// required before the primary is re-engaged.
+	QuarantineSteps int
+	// RecoverySteps is the length of the staged re-engagement window during
+	// which the wrapper slew-limits the primary's authority.
+	RecoverySteps int
+	// GraceSteps disarms the soft detectors after a completed recovery, so
+	// the re-seeded primary's settling transient cannot re-trip it.
+	GraceSteps int
+	// GuardbandSteps trips CauseGuardband when the runtime's current
+	// over-bound streak (Health.GuardbandStreak) reaches this length; 0
+	// disables the detector. It must sit above the longest streak clean runs
+	// produce during workload phase changes (calibration in DESIGN.md §7).
+	GuardbandSteps int
+	// DivergenceFactor trips when the short-window cost proxy exceeds the
+	// long-window baseline by this factor.
+	DivergenceFactor float64
+	// BaselineWindow is the long cost-EMA window (and the number of finite
+	// cost samples required before the divergence detector arms).
+	BaselineWindow int
+	// ShortWindow is the short cost-EMA window.
+	ShortWindow int
+	// RailSteps is the consecutive rail-pinned intervals that trip
+	// CauseRail; 0 disables the detector.
+	RailSteps int
+	// ChatterWindow is the sliding window (≤ 32) over which actuator
+	// direction reversals are counted.
+	ChatterWindow int
+	// ChatterReversals trips CauseChatter when any channel reverses at least
+	// this many times within ChatterWindow; 0 disables the detector.
+	ChatterReversals int
+	// DropoutWindow is the sliding window (≤ 64) over which intervals
+	// without fresh sensor data — held (non-finite view) or stale
+	// (bit-for-bit repeated power readings) — are counted.
+	DropoutWindow int
+	// DropoutTrip trips CauseDropout when at least this many of the last
+	// DropoutWindow intervals carried no fresh sensor data; 0 disables the
+	// detector.
+	DropoutTrip int
+	// MismatchWindow is the sliding window (≤ 64) over which actuator
+	// write-verification failures are counted.
+	MismatchWindow int
+	// MismatchTrip trips CauseActuation when at least this many of the last
+	// MismatchWindow intervals had an actuator write whose applied value
+	// differed from the requested one; 0 disables the detector.
+	MismatchTrip int
+	// ThrottleWindow is the sliding window (≤ 64) over which suspicious
+	// throttle intervals are counted.
+	ThrottleWindow int
+	// ThrottleTrip trips CauseThrottle when at least this many of the last
+	// ThrottleWindow intervals were suspiciously throttled (thermal path
+	// engaged below SuspectTempC); 0 disables the detector.
+	ThrottleTrip int
+	// SuspectTempC qualifies a throttle interval as suspicious: the thermal
+	// emergency path engaged while the temperature reading sat below this.
+	// Organic thermal emergencies live within the firmware's hysteresis band
+	// of the trip threshold; a thermal throttle reported well below it means
+	// the diode and the firmware disagree — a misread or a forced cap.
+	// 0 disables suspicion entirely (no throttle interval is suspicious).
+	SuspectTempC float64
+	// TempLimitC is the temperature below which a fallback interval counts
+	// as healthy for quarantine purposes.
+	TempLimitC float64
+	// FallbackDerateSteps is how many frequency quantizer steps below the
+	// trip-time effective frequencies the fallback's conservative ceiling is
+	// seeded (per cluster). A sick controller's last operating point is often
+	// an aggressive one; the safe posture is a mild derate of it, not a hold.
+	// 0 holds the trip-time point exactly.
+	FallbackDerateSteps int
+	// FreezeSearchOnDropout pauses the primary's target search (the §IV-D
+	// optimizers) while the interval carries no fresh sensor data (held or
+	// stale readings), so the hill climb cannot learn from a fabricated cost
+	// sample. Purely advisory: the wrapper implements it, the monitor only
+	// accounts for it.
+	FreezeSearchOnDropout bool
+	// DistrustHoldSteps arms the no-raise authority clamp: after an interval
+	// whose evidence is distrusted — a suspicious firmware throttle, an
+	// actuator write that failed verification, or no fresh sensor data — the
+	// wrapper blocks upward frequency moves for this many subsequent
+	// intervals (downward moves stay free). A controller acting on evidence
+	// it cannot trust may shed power but may not add it: the fail-safe bias
+	// keeps a possibly-stuck or possibly-hot operating point on the safe
+	// side until trustworthy evidence returns. 0 disables the clamp.
+	DistrustHoldSteps int
+}
+
+// DefaultConfig returns the shipped supervisor tuning. The calibration
+// principle (measurements in DESIGN.md §7): trips hand authority to a crude
+// fallback whose E×D rate is a multiple of the primary's, so they are
+// reserved for signals that mean the CONTROLLER is sick — non-finite
+// commands, rail pinning, cost divergence, actuator chatter, and near-total
+// sensor dropout — and every threshold clears the worst pressure clean runs
+// produce with margin, so clean (fault-free) runs record zero trips.
+// Fault-owned environmental signals (suspicious throttling, actuator
+// write-verification failures, partial dropout) get the graduated responses
+// instead: the search freeze and the no-raise authority clamp, both of
+// which fire only under injected faults and measurably beat both doing
+// nothing and falling back.
+//
+// The guardband-streak detector ships disabled because the simulated plant
+// cannot separate it cleanly: clean SSV runs of memory-bound apps hold
+// deviations outside the guaranteed bounds for hundreds of intervals — the
+// synthesis' bounds are simply not honest there. The throttle-storm and
+// actuation-fault trip detectors likewise ship disabled: transferring to
+// the fallback for the duration of an environmental storm was measured to
+// cost more E×D than the storm itself (the clamp handles both). All three
+// remain available as knobs. The throttle-storm detector keys on
+// *suspicious* throttle only (thermal path engaged below SuspectTempC):
+// organic thermal emergencies run inside the firmware's hysteresis band, so
+// clean runs contribute nothing to its window no matter how densely they
+// throttle.
+func DefaultConfig() Config {
+	return Config{
+		WarmupSteps:           48,
+		ConfirmSteps:          4,
+		QuarantineSteps:       24,
+		RecoverySteps:         12,
+		GraceSteps:            32,
+		GuardbandSteps:        0,
+		DivergenceFactor:      3.0,
+		BaselineWindow:        64,
+		ShortWindow:           8,
+		RailSteps:             8,
+		ChatterWindow:         32,
+		ChatterReversals:      16,
+		DropoutWindow:         32,
+		DropoutTrip:           28,
+		MismatchWindow:        32,
+		MismatchTrip:          0,
+		ThrottleWindow:        32,
+		ThrottleTrip:          0,
+		SuspectTempC:          76,
+		TempLimitC:            79,
+		FallbackDerateSteps:   2,
+		FreezeSearchOnDropout: true,
+		DistrustHoldSteps:     20,
+	}
+}
+
+// Suspicious reports whether a sample's throttle state is suspicious: the
+// thermal emergency path engaged while the temperature reading sat below
+// SuspectTempC (NaN readings are not suspicious — absence of evidence).
+func (c Config) Suspicious(smp Sample) bool {
+	return c.SuspectTempC > 0 && smp.ThermalThrottled &&
+		!math.IsNaN(smp.TempC) && smp.TempC < c.SuspectTempC
+}
+
+// NoFreshData reports whether a sample carried no fresh sensor information:
+// a non-finite view (held) or bit-for-bit repeated power readings (stale).
+func (smp Sample) NoFreshData() bool { return !smp.SensorsFinite || smp.PowerStale }
+
+// Distrusted reports whether a sample's evidence is distrusted: a suspicious
+// firmware throttle, a failed actuator write-verification, or no fresh sensor
+// data. Distrusted intervals arm the no-raise clamp (DistrustHoldSteps).
+func (c Config) Distrusted(smp Sample) bool {
+	return c.Suspicious(smp) || smp.CommandMismatch || smp.NoFreshData()
+}
+
+// Stats is the accounting a supervised run reports: how often the primary
+// tripped and why, how long the fallback held authority, and how quickly the
+// primary was restored.
+type Stats struct {
+	// Trips counts confirmed transfers to the fallback (including re-trips
+	// during recovery).
+	Trips int
+	// Causes counts trips per Cause (indexed by the Cause constants).
+	Causes [CauseCount]int
+	// FallbackSteps counts control intervals the fallback held authority.
+	FallbackSteps int
+	// RecoveringSteps counts control intervals spent in the staged
+	// re-engagement window.
+	RecoveringSteps int
+	// Recoveries counts completed trips-to-nominal round trips.
+	Recoveries int
+	// RecoveryLatencySteps sums, over completed recoveries, the interval
+	// count from trip to return-to-nominal.
+	RecoveryLatencySteps int
+	// FrozenSteps counts intervals the primary's target search was paused
+	// because the sensor view carried no fresh data.
+	FrozenSteps int
+	// DistrustSteps counts intervals the no-raise authority clamp was armed
+	// while the primary held authority.
+	DistrustSteps int
+	// Peaks records the maximum detector pressure seen while the primary
+	// held authority — the data the calibration margins in DESIGN.md §7
+	// come from.
+	Peaks Peaks
+}
+
+// Peaks is the maximum pressure each soft detector saw while the primary
+// held authority. A clean run's peaks tell how much margin the shipped trip
+// thresholds have; a faulted run's peaks tell how far past them it went.
+type Peaks struct {
+	// GuardbandStreak is the longest over-bound streak observed.
+	GuardbandStreak int
+	// RailStreak is the longest rail-pinned streak observed.
+	RailStreak int
+	// ChatterCount is the largest per-window reversal count observed.
+	ChatterCount int
+	// HeldCount is the largest per-window no-fresh-data interval count
+	// observed.
+	HeldCount int
+	// MismatchCount is the largest per-window actuator write-verification
+	// failure count observed.
+	MismatchCount int
+	// ThrottleCount is the largest per-window suspicious-throttle interval
+	// count observed.
+	ThrottleCount int
+}
+
+// take folds one interval's detector pressure into the peaks.
+func (p *Peaks) take(guardband, rail, chatter, held, mismatch, throttle int) {
+	if guardband > p.GuardbandStreak {
+		p.GuardbandStreak = guardband
+	}
+	if rail > p.RailStreak {
+		p.RailStreak = rail
+	}
+	if chatter > p.ChatterCount {
+		p.ChatterCount = chatter
+	}
+	if held > p.HeldCount {
+		p.HeldCount = held
+	}
+	if mismatch > p.MismatchCount {
+		p.MismatchCount = mismatch
+	}
+	if throttle > p.ThrottleCount {
+		p.ThrottleCount = throttle
+	}
+}
+
+// Add accumulates o into s (aggregation across runs).
+func (s *Stats) Add(o Stats) {
+	s.Trips += o.Trips
+	for i := range s.Causes {
+		s.Causes[i] += o.Causes[i]
+	}
+	s.FallbackSteps += o.FallbackSteps
+	s.RecoveringSteps += o.RecoveringSteps
+	s.Recoveries += o.Recoveries
+	s.RecoveryLatencySteps += o.RecoveryLatencySteps
+	s.FrozenSteps += o.FrozenSteps
+	s.DistrustSteps += o.DistrustSteps
+	s.Peaks.take(o.Peaks.GuardbandStreak, o.Peaks.RailStreak,
+		o.Peaks.ChatterCount, o.Peaks.HeldCount, o.Peaks.MismatchCount,
+		o.Peaks.ThrottleCount)
+}
+
+// MeanRecoverySteps is the mean trip-to-nominal latency in control
+// intervals (0 when no recovery completed).
+func (s Stats) MeanRecoverySteps() float64 {
+	if s.Recoveries == 0 {
+		return 0
+	}
+	return float64(s.RecoveryLatencySteps) / float64(s.Recoveries)
+}
+
+// Monitor is the per-session supervisory state machine. It is not safe for
+// concurrent use; like a controller runtime, one Monitor belongs to exactly
+// one run.
+type Monitor struct {
+	cfg   Config
+	state State
+	step  int
+	grace int
+
+	// Soft-condition confirmation.
+	suspectStreak int
+	railStreak    int
+
+	// Cost-divergence EMAs.
+	baseEMA, shortEMA float64
+	emaN              int
+
+	// Fallback quarantine and staged recovery.
+	quarGood    int
+	recoverLeft int
+	tripStep    int
+
+	// No-raise clamp countdown (DistrustHoldSteps).
+	distrustLeft int
+
+	// Sliding windows.
+	lastHeld     int
+	heldMask     uint64
+	mismatchMask uint64
+	throttleMask uint64
+	chat         [4]chatterTrack
+
+	stats Stats
+}
+
+// chatterTrack counts direction reversals of one actuator channel over a
+// sliding bit window.
+type chatterTrack struct {
+	prev float64
+	dir  int
+	have bool
+	mask uint32
+}
+
+// New builds a monitor in the Nominal state. Out-of-range window lengths are
+// clamped to their representable maxima (32 for ChatterWindow, 64 for
+// DropoutWindow, minimum 1 everywhere).
+func New(cfg Config) *Monitor {
+	clampMin := func(v *int, lo int) {
+		if *v < lo {
+			*v = lo
+		}
+	}
+	clampMin(&cfg.ConfirmSteps, 1)
+	clampMin(&cfg.QuarantineSteps, 1)
+	clampMin(&cfg.RecoverySteps, 1)
+	clampMin(&cfg.BaselineWindow, 1)
+	clampMin(&cfg.ShortWindow, 1)
+	if cfg.ChatterWindow < 1 || cfg.ChatterWindow > 32 {
+		if cfg.ChatterWindow > 32 {
+			cfg.ChatterWindow = 32
+		} else {
+			cfg.ChatterWindow = 1
+		}
+	}
+	if cfg.DropoutWindow < 1 || cfg.DropoutWindow > 64 {
+		if cfg.DropoutWindow > 64 {
+			cfg.DropoutWindow = 64
+		} else {
+			cfg.DropoutWindow = 1
+		}
+	}
+	if cfg.MismatchWindow < 1 || cfg.MismatchWindow > 64 {
+		if cfg.MismatchWindow > 64 {
+			cfg.MismatchWindow = 64
+		} else {
+			cfg.MismatchWindow = 1
+		}
+	}
+	if cfg.ThrottleWindow < 1 || cfg.ThrottleWindow > 64 {
+		if cfg.ThrottleWindow > 64 {
+			cfg.ThrottleWindow = 64
+		} else {
+			cfg.ThrottleWindow = 1
+		}
+	}
+	return &Monitor{cfg: cfg}
+}
+
+// State returns the state the next observed interval runs under.
+func (m *Monitor) State() State { return m.state }
+
+// Stats returns the accounting so far.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// Config returns the monitor's (clamped) configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Observe feeds one control interval's sample and returns the action for the
+// next interval. The wrapper calls it exactly once per interval, after the
+// active session has stepped.
+func (m *Monitor) Observe(smp Sample) Action {
+	m.step++
+	var act Action
+	if m.cfg.FreezeSearchOnDropout && smp.NoFreshData() && m.state != Fallback {
+		m.stats.FrozenSteps++
+	}
+	if m.cfg.DistrustHoldSteps > 0 && m.cfg.Distrusted(smp) {
+		m.distrustLeft = m.cfg.DistrustHoldSteps
+	}
+	m.observeCommands(smp.Commands)
+	m.observeHeld(smp.Health.HeldSteps, smp.PowerStale)
+	m.observeMismatch(smp.CommandMismatch)
+	m.observeThrottle(m.cfg.Suspicious(smp))
+	if finite(smp.CostProxy) {
+		if m.emaN == 0 {
+			m.baseEMA, m.shortEMA = smp.CostProxy, smp.CostProxy
+		} else {
+			m.baseEMA += (smp.CostProxy - m.baseEMA) / float64(m.cfg.BaselineWindow)
+			m.shortEMA += (smp.CostProxy - m.shortEMA) / float64(m.cfg.ShortWindow)
+		}
+		m.emaN++
+	}
+	switch m.state {
+	case Nominal, Suspect:
+		m.watchPrimary(smp, &act)
+	case Fallback:
+		m.stats.FallbackSteps++
+		if m.fallbackHealthy(smp) {
+			m.quarGood++
+		} else {
+			m.quarGood = 0
+		}
+		if m.quarGood >= m.cfg.QuarantineSteps {
+			m.state = Recovering
+			m.recoverLeft = m.cfg.RecoverySteps
+			m.resetWindows()
+			// The short EMA has converged to the fallback's cost; restart it
+			// from the baseline so a pre-trip divergence cannot re-trip the
+			// primary before it has produced a single new sample.
+			m.shortEMA = m.baseEMA
+			act.Reengage = true
+		}
+	case Recovering:
+		m.stats.RecoveringSteps++
+		m.watchPrimary(smp, &act)
+		if m.state == Recovering {
+			m.recoverLeft--
+			if m.recoverLeft <= 0 {
+				m.state = Nominal
+				m.grace = m.cfg.GraceSteps
+				m.stats.Recoveries++
+				m.stats.RecoveryLatencySteps += m.step - m.tripStep
+			}
+		}
+	}
+	if m.distrustLeft > 0 {
+		m.distrustLeft--
+		if m.state != Fallback {
+			act.BlockRaise = true
+			m.stats.DistrustSteps++
+		}
+	}
+	act.State = m.state
+	return act
+}
+
+// watchPrimary evaluates the trip detectors while the primary has authority
+// (Nominal, Suspect or Recovering).
+func (m *Monitor) watchPrimary(smp Sample, act *Action) {
+	// Hard condition: a non-finite command is never tolerable, warmup or not.
+	if smp.Health.NonFinite || !finite4(smp.Commands) {
+		m.trip(CauseNonFinite, act)
+		return
+	}
+	if smp.Health.Railed {
+		m.railStreak++
+	} else {
+		m.railStreak = 0
+	}
+	if m.step <= m.cfg.WarmupSteps || m.grace > 0 {
+		if m.grace > 0 {
+			m.grace--
+		}
+		return
+	}
+	// Peaks are recorded exactly where the detectors are armed, so a clean
+	// run's peaks are directly comparable to the trip thresholds.
+	m.stats.Peaks.take(smp.Health.GuardbandStreak, m.railStreak,
+		m.chatterCount(), m.heldCount(), m.mismatchCount(), m.throttleCount())
+	cause := CauseNone
+	switch {
+	case m.cfg.GuardbandSteps > 0 && smp.Health.GuardbandStreak >= m.cfg.GuardbandSteps:
+		cause = CauseGuardband
+	case m.cfg.ThrottleTrip > 0 && m.throttleCount() >= m.cfg.ThrottleTrip:
+		cause = CauseThrottle
+	case m.cfg.RailSteps > 0 && m.railStreak >= m.cfg.RailSteps:
+		cause = CauseRail
+	case m.divergent():
+		cause = CauseDivergence
+	case m.cfg.ChatterReversals > 0 && m.chatterCount() >= m.cfg.ChatterReversals:
+		cause = CauseChatter
+	case m.cfg.DropoutTrip > 0 && m.heldCount() >= m.cfg.DropoutTrip:
+		cause = CauseDropout
+	case m.cfg.MismatchTrip > 0 && m.mismatchCount() >= m.cfg.MismatchTrip:
+		cause = CauseActuation
+	}
+	if cause == CauseNone {
+		if m.state == Suspect {
+			m.state = Nominal
+		}
+		m.suspectStreak = 0
+		return
+	}
+	m.suspectStreak++
+	if m.state == Nominal {
+		m.state = Suspect
+	}
+	if m.suspectStreak >= m.cfg.ConfirmSteps {
+		m.trip(cause, act)
+	}
+}
+
+// trip performs the transfer-to-fallback bookkeeping.
+func (m *Monitor) trip(cause Cause, act *Action) {
+	m.state = Fallback
+	m.stats.Trips++
+	m.stats.Causes[cause]++
+	m.tripStep = m.step
+	m.quarGood = 0
+	m.suspectStreak = 0
+	m.railStreak = 0
+	m.resetWindows()
+	act.Tripped = true
+	act.Cause = cause
+}
+
+// fallbackHealthy reports whether a fallback interval counts toward the
+// re-engagement quarantine: no firmware emergency engaged and the (finite)
+// temperature below the limit. Sensor dropout does not reset quarantine —
+// the sanitized fallback tolerates it, and requiring a long fully-finite
+// streak would strand the session in fallback under sustained dropout.
+func (m *Monitor) fallbackHealthy(smp Sample) bool {
+	if smp.Throttled {
+		return false
+	}
+	if !math.IsNaN(smp.TempC) && smp.TempC >= m.cfg.TempLimitC {
+		return false
+	}
+	return true
+}
+
+// divergent reports the cost-divergence condition once the baseline has
+// formed.
+func (m *Monitor) divergent() bool {
+	return m.emaN >= m.cfg.BaselineWindow &&
+		m.shortEMA > m.cfg.DivergenceFactor*m.baseEMA
+}
+
+// observeCommands advances the per-channel reversal windows.
+func (m *Monitor) observeCommands(cmd [4]float64) {
+	for i := range m.chat {
+		c := &m.chat[i]
+		bit := uint32(0)
+		if c.have {
+			d := cmd[i] - c.prev
+			dir := 0
+			switch {
+			case d > 1e-9:
+				dir = 1
+			case d < -1e-9:
+				dir = -1
+			}
+			if dir != 0 {
+				if c.dir != 0 && dir == -c.dir {
+					bit = 1
+				}
+				c.dir = dir
+			}
+		}
+		c.mask = ((c.mask << 1) | bit) & windowMask32(m.cfg.ChatterWindow)
+		c.prev = cmd[i]
+		c.have = true
+	}
+}
+
+// chatterCount returns the worst channel's reversal count in the window.
+func (m *Monitor) chatterCount() int {
+	worst := 0
+	for i := range m.chat {
+		if n := bits.OnesCount32(m.chat[i].mask); n > worst {
+			worst = n
+		}
+	}
+	return worst
+}
+
+// observeHeld advances the no-fresh-data window from the cumulative held
+// counter (a decrease means the runtime was re-seeded; treat as no hold) and
+// the stale-reading flag.
+func (m *Monitor) observeHeld(held int, stale bool) {
+	bit := uint64(0)
+	if held > m.lastHeld || stale {
+		bit = 1
+	}
+	m.lastHeld = held
+	m.heldMask = ((m.heldMask << 1) | bit) & windowMask64(m.cfg.DropoutWindow)
+}
+
+// heldCount returns the no-fresh-data intervals within the dropout window.
+func (m *Monitor) heldCount() int { return bits.OnesCount64(m.heldMask) }
+
+// observeMismatch advances the actuator write-verification window.
+func (m *Monitor) observeMismatch(mismatch bool) {
+	bit := uint64(0)
+	if mismatch {
+		bit = 1
+	}
+	m.mismatchMask = ((m.mismatchMask << 1) | bit) & windowMask64(m.cfg.MismatchWindow)
+}
+
+// mismatchCount returns the write-verification failures within the window.
+func (m *Monitor) mismatchCount() int { return bits.OnesCount64(m.mismatchMask) }
+
+// observeThrottle advances the suspicious-throttle window.
+func (m *Monitor) observeThrottle(suspicious bool) {
+	bit := uint64(0)
+	if suspicious {
+		bit = 1
+	}
+	m.throttleMask = ((m.throttleMask << 1) | bit) & windowMask64(m.cfg.ThrottleWindow)
+}
+
+// throttleCount returns the suspicious-throttle intervals within the window.
+func (m *Monitor) throttleCount() int { return bits.OnesCount64(m.throttleMask) }
+
+// resetWindows clears the sliding windows on a state transfer so one
+// authority's signal cannot be attributed to the next.
+func (m *Monitor) resetWindows() {
+	for i := range m.chat {
+		m.chat[i] = chatterTrack{}
+	}
+	m.heldMask = 0
+	m.mismatchMask = 0
+	m.throttleMask = 0
+	m.railStreak = 0
+	m.distrustLeft = 0
+}
+
+// windowMask32 returns a mask with the low w bits set (w in 1..32).
+func windowMask32(w int) uint32 {
+	if w >= 32 {
+		return ^uint32(0)
+	}
+	return (1 << uint(w)) - 1
+}
+
+// windowMask64 returns a mask with the low w bits set (w in 1..64).
+func windowMask64(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(w)) - 1
+}
+
+// finite reports whether v is a finite number.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// finite4 reports whether every element of v is finite.
+func finite4(v [4]float64) bool {
+	for _, x := range v {
+		if !finite(x) {
+			return false
+		}
+	}
+	return true
+}

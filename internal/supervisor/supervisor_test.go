@@ -1,0 +1,481 @@
+package supervisor
+
+import (
+	"math"
+	"testing"
+)
+
+// healthySample is a nominal interval: finite sensors, cool, steady cost,
+// constant commands, clean controller health.
+func healthySample() Sample {
+	return Sample{
+		SensorsFinite: true,
+		TempC:         55,
+		CostProxy:     1.0,
+		Commands:      [4]float64{4, 4, 1.8, 1.2},
+	}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WarmupSteps = 10
+	cfg.ConfirmSteps = 3
+	cfg.QuarantineSteps = 5
+	cfg.RecoverySteps = 4
+	cfg.GraceSteps = 6
+	cfg.BaselineWindow = 16
+	cfg.ShortWindow = 4
+	// The guardband detector ships disabled (the simulated plant's bounds are
+	// not clean-separable); enable it here to exercise the detector path.
+	cfg.GuardbandSteps = 6
+	return cfg
+}
+
+func TestHealthyStreamNeverTrips(t *testing.T) {
+	m := New(testConfig())
+	for i := 0; i < 2000; i++ {
+		act := m.Observe(healthySample())
+		if act.Tripped || act.State != Nominal {
+			t.Fatalf("step %d: unexpected %+v", i, act)
+		}
+	}
+	if st := m.Stats(); st.Trips != 0 || st.FallbackSteps != 0 {
+		t.Fatalf("stats = %+v, want zero trips", st)
+	}
+}
+
+func TestNonFiniteTripsImmediatelyEvenDuringWarmup(t *testing.T) {
+	m := New(testConfig())
+	smp := healthySample()
+	smp.Commands[2] = math.NaN()
+	act := m.Observe(smp)
+	if !act.Tripped || act.Cause != CauseNonFinite || act.State != Fallback {
+		t.Fatalf("act = %+v, want immediate non-finite trip", act)
+	}
+}
+
+func TestGuardbandTripNeedsConfirmation(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample())
+	}
+	bad := healthySample()
+	bad.Health.GuardbandStreak = cfg.GuardbandSteps
+	for i := 0; i < cfg.ConfirmSteps-1; i++ {
+		act := m.Observe(bad)
+		if act.Tripped {
+			t.Fatalf("confirm step %d tripped early", i)
+		}
+		if act.State != Suspect {
+			t.Fatalf("confirm step %d: state %v, want suspect", i, act.State)
+		}
+	}
+	// A clean interval clears the suspicion.
+	if act := m.Observe(healthySample()); act.State != Nominal {
+		t.Fatalf("state after clean interval = %v, want nominal", act.State)
+	}
+	// A full confirm streak trips.
+	var act Action
+	for i := 0; i < cfg.ConfirmSteps; i++ {
+		act = m.Observe(bad)
+	}
+	if !act.Tripped || act.Cause != CauseGuardband {
+		t.Fatalf("act = %+v, want guardband trip", act)
+	}
+}
+
+func TestQuarantineReengageAndRecovery(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample())
+	}
+	bad := healthySample()
+	bad.Health.GuardbandStreak = cfg.GuardbandSteps
+	for m.State() != Fallback {
+		m.Observe(bad)
+	}
+	// Throttled fallback intervals must not count toward quarantine.
+	throttled := healthySample()
+	throttled.Throttled = true
+	for i := 0; i < 3; i++ {
+		if act := m.Observe(throttled); act.Reengage {
+			t.Fatal("reengaged while throttled")
+		}
+	}
+	var act Action
+	for i := 0; i < cfg.QuarantineSteps; i++ {
+		act = m.Observe(healthySample())
+	}
+	if !act.Reengage || act.State != Recovering {
+		t.Fatalf("act = %+v, want reengage into recovering", act)
+	}
+	for i := 0; i < cfg.RecoverySteps; i++ {
+		act = m.Observe(healthySample())
+	}
+	if act.State != Nominal {
+		t.Fatalf("state after recovery window = %v, want nominal", act.State)
+	}
+	st := m.Stats()
+	if st.Trips != 1 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v, want 1 trip / 1 recovery", st)
+	}
+	if st.RecoveryLatencySteps <= 0 || st.MeanRecoverySteps() <= 0 {
+		t.Fatalf("stats = %+v, want positive recovery latency", st)
+	}
+	if st.FallbackSteps < cfg.QuarantineSteps {
+		t.Fatalf("FallbackSteps = %d, want ≥ quarantine %d", st.FallbackSteps, cfg.QuarantineSteps)
+	}
+}
+
+func TestNonFiniteRetripDuringRecovery(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample())
+	}
+	nan := healthySample()
+	nan.Health.NonFinite = true
+	m.Observe(nan) // trip 1
+	for m.State() == Fallback {
+		m.Observe(healthySample())
+	}
+	if m.State() != Recovering {
+		t.Fatalf("state = %v, want recovering", m.State())
+	}
+	act := m.Observe(nan)
+	if !act.Tripped || act.State != Fallback {
+		t.Fatalf("act = %+v, want re-trip during recovery", act)
+	}
+	if st := m.Stats(); st.Trips != 2 || st.Recoveries != 0 {
+		t.Fatalf("stats = %+v, want 2 trips / 0 recoveries", st)
+	}
+}
+
+func TestGraceSuppressesSoftDetectorsAfterRecovery(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample())
+	}
+	bad := healthySample()
+	bad.Health.GuardbandStreak = cfg.GuardbandSteps
+	for m.State() != Fallback {
+		m.Observe(bad)
+	}
+	for m.State() != Nominal {
+		m.Observe(healthySample())
+	}
+	// Soft conditions during grace must not even enter Suspect.
+	for i := 0; i < cfg.GraceSteps; i++ {
+		if act := m.Observe(bad); act.State != Nominal || act.Tripped {
+			t.Fatalf("grace step %d: act = %+v", i, act)
+		}
+	}
+	// Once grace expires the same condition trips again.
+	var act Action
+	for i := 0; i < cfg.ConfirmSteps; i++ {
+		act = m.Observe(bad)
+	}
+	if !act.Tripped {
+		t.Fatalf("act = %+v, want trip after grace expiry", act)
+	}
+}
+
+func TestDivergenceTrip(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	// Build the baseline well past warmup and window formation.
+	for i := 0; i < cfg.WarmupSteps+2*cfg.BaselineWindow; i++ {
+		m.Observe(healthySample())
+	}
+	exp := healthySample()
+	exp.CostProxy = 50 // 50× the baseline of 1.0
+	var act Action
+	for i := 0; i < cfg.ShortWindow+cfg.ConfirmSteps+4; i++ {
+		act = m.Observe(exp)
+		if act.Tripped {
+			break
+		}
+	}
+	if !act.Tripped || act.Cause != CauseDivergence {
+		t.Fatalf("act = %+v, want divergence trip", act)
+	}
+}
+
+func TestChatterTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChatterWindow = 8
+	cfg.ChatterReversals = 6
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample())
+	}
+	var act Action
+	for i := 0; i < 40; i++ {
+		smp := healthySample()
+		// Big frequency bounces between two levels every interval.
+		if i%2 == 0 {
+			smp.Commands[2] = 1.8
+		} else {
+			smp.Commands[2] = 1.7
+		}
+		act = m.Observe(smp)
+		if act.Tripped {
+			break
+		}
+	}
+	if !act.Tripped || act.Cause != CauseChatter {
+		t.Fatalf("act = %+v, want chatter trip", act)
+	}
+}
+
+func TestDropoutTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.DropoutWindow = 16
+	cfg.DropoutTrip = 8
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample())
+	}
+	var act Action
+	held := 0
+	for i := 0; i < 40; i++ {
+		smp := healthySample()
+		smp.SensorsFinite = false
+		smp.CostProxy = math.NaN()
+		held++
+		smp.Health.HeldSteps = held
+		act = m.Observe(smp)
+		if act.Tripped {
+			break
+		}
+	}
+	if !act.Tripped || act.Cause != CauseDropout {
+		t.Fatalf("act = %+v, want dropout trip", act)
+	}
+}
+
+func TestRailTrip(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample())
+	}
+	railed := healthySample()
+	railed.Health.Railed = true
+	var act Action
+	for i := 0; i < cfg.RailSteps+cfg.ConfirmSteps+2; i++ {
+		act = m.Observe(railed)
+		if act.Tripped {
+			break
+		}
+	}
+	if !act.Tripped || act.Cause != CauseRail {
+		t.Fatalf("act = %+v, want rail trip", act)
+	}
+}
+
+func TestThrottleStormTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.ThrottleWindow = 8
+	cfg.ThrottleTrip = 6
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample())
+	}
+	// A suspicious storm: thermal path engaged while the diode reads cool.
+	storm := healthySample()
+	storm.Throttled = true
+	storm.ThermalThrottled = true
+	var act Action
+	for i := 0; i < cfg.ThrottleTrip+cfg.ConfirmSteps+2; i++ {
+		act = m.Observe(storm)
+		if act.Tripped {
+			break
+		}
+	}
+	if !act.Tripped || act.Cause != CauseThrottle {
+		t.Fatalf("act = %+v, want throttle-storm trip", act)
+	}
+	// An organic thermal emergency — throttled while genuinely hot — is not
+	// suspicious and must never trip, no matter how dense.
+	m2 := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m2.Observe(healthySample())
+	}
+	hot := healthySample()
+	hot.Throttled = true
+	hot.ThermalThrottled = true
+	hot.TempC = cfg.SuspectTempC + 3
+	for i := 0; i < 100; i++ {
+		if act := m2.Observe(hot); act.Tripped {
+			t.Fatalf("step %d: organic (hot) throttling tripped: %+v", i, act)
+		}
+	}
+	// A power-path emergency (thermal path idle) is likewise not suspicious.
+	m3 := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m3.Observe(healthySample())
+	}
+	for i := 0; i < 100; i++ {
+		smp := healthySample()
+		smp.Throttled = true // power emergency only
+		if act := m3.Observe(smp); act.Tripped {
+			t.Fatalf("step %d: power-path throttling tripped: %+v", i, act)
+		}
+	}
+}
+
+func TestStaleReadingsCountAsDropout(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample())
+	}
+	stale := healthySample()
+	stale.PowerStale = true
+	var act Action
+	for i := 0; i < cfg.DropoutTrip+cfg.ConfirmSteps+2; i++ {
+		act = m.Observe(stale)
+		if act.Tripped {
+			break
+		}
+	}
+	if !act.Tripped || act.Cause != CauseDropout {
+		t.Fatalf("act = %+v, want dropout trip from stale readings", act)
+	}
+}
+
+func TestPeaksRecorded(t *testing.T) {
+	cfg := testConfig()
+	cfg.GuardbandSteps = 0 // passive: record pressure without tripping
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample()) // peaks arm with the detectors, post-warmup
+	}
+	smp := healthySample()
+	smp.Health.GuardbandStreak = 7
+	smp.Throttled = true
+	smp.ThermalThrottled = true // cool sample ⇒ suspicious
+	for i := 0; i < 5; i++ {
+		m.Observe(smp)
+	}
+	pk := m.Stats().Peaks
+	if pk.GuardbandStreak != 7 {
+		t.Fatalf("peak guardband streak = %d, want 7", pk.GuardbandStreak)
+	}
+	if pk.ThrottleCount != 5 {
+		t.Fatalf("peak throttle count = %d, want 5", pk.ThrottleCount)
+	}
+	var agg Stats
+	agg.Add(m.Stats())
+	if agg.Peaks.GuardbandStreak != 7 {
+		t.Fatalf("aggregated peak = %+v, want streak 7", agg.Peaks)
+	}
+}
+
+func TestStatsAddAndStrings(t *testing.T) {
+	var a, b Stats
+	a.Trips, a.Causes[CauseGuardband], a.FallbackSteps = 1, 1, 10
+	b.Trips, b.Causes[CauseDropout], b.Recoveries, b.RecoveryLatencySteps = 2, 2, 1, 30
+	a.Add(b)
+	if a.Trips != 3 || a.Causes[CauseDropout] != 2 || a.FallbackSteps != 10 {
+		t.Fatalf("merged stats = %+v", a)
+	}
+	if a.MeanRecoverySteps() != 30 {
+		t.Fatalf("mean recovery = %v, want 30", a.MeanRecoverySteps())
+	}
+	for s := Nominal; s <= Recovering; s++ {
+		if s.String() == "" {
+			t.Fatalf("state %d has empty name", s)
+		}
+	}
+	for c := CauseNone; c < CauseCount; c++ {
+		if c.String() == "" {
+			t.Fatalf("cause %d has empty name", c)
+		}
+	}
+}
+
+func TestFreezeAccounting(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	smp := healthySample()
+	smp.PowerStale = true // no fresh data ⇒ frozen
+	for i := 0; i < 5; i++ {
+		m.Observe(smp)
+	}
+	if st := m.Stats(); st.FrozenSteps != 5 {
+		t.Fatalf("FrozenSteps = %d, want 5", st.FrozenSteps)
+	}
+	cfg.FreezeSearchOnDropout = false
+	m2 := New(cfg)
+	for i := 0; i < 5; i++ {
+		m2.Observe(smp)
+	}
+	if st := m2.Stats(); st.FrozenSteps != 0 {
+		t.Fatalf("FrozenSteps = %d, want 0 when freezing disabled", st.FrozenSteps)
+	}
+}
+
+func TestMismatchTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.MismatchWindow = 16
+	cfg.MismatchTrip = 8
+	m := New(cfg)
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		m.Observe(healthySample())
+	}
+	bad := healthySample()
+	bad.CommandMismatch = true
+	var act Action
+	for i := 0; i < cfg.MismatchTrip+cfg.ConfirmSteps+2; i++ {
+		act = m.Observe(bad)
+		if act.Tripped {
+			break
+		}
+	}
+	if !act.Tripped || act.Cause != CauseActuation {
+		t.Fatalf("act = %+v, want actuation-fault trip", act)
+	}
+}
+
+func TestDistrustClampArmsAndExpires(t *testing.T) {
+	cfg := testConfig()
+	cfg.DistrustHoldSteps = 3
+	m := New(cfg)
+	// A healthy stream never arms the clamp.
+	for i := 0; i < 20; i++ {
+		if act := m.Observe(healthySample()); act.BlockRaise {
+			t.Fatalf("step %d: clamp armed on healthy sample", i)
+		}
+	}
+	if st := m.Stats(); st.DistrustSteps != 0 {
+		t.Fatalf("DistrustSteps = %d, want 0 on healthy stream", st.DistrustSteps)
+	}
+	// One distrusted interval arms it for exactly DistrustHoldSteps.
+	bad := healthySample()
+	bad.CommandMismatch = true
+	if act := m.Observe(bad); !act.BlockRaise {
+		t.Fatal("clamp not armed on the distrusted interval itself")
+	}
+	for i := 0; i < cfg.DistrustHoldSteps-1; i++ {
+		if act := m.Observe(healthySample()); !act.BlockRaise {
+			t.Fatalf("hold step %d: clamp released early", i)
+		}
+	}
+	if act := m.Observe(healthySample()); act.BlockRaise {
+		t.Fatal("clamp still armed past the hold window")
+	}
+	if st := m.Stats(); st.DistrustSteps != cfg.DistrustHoldSteps {
+		t.Fatalf("DistrustSteps = %d, want %d", st.DistrustSteps, cfg.DistrustHoldSteps)
+	}
+	// Disabled clamp never arms.
+	cfg.DistrustHoldSteps = 0
+	m2 := New(cfg)
+	if act := m2.Observe(bad); act.BlockRaise {
+		t.Fatal("clamp armed while disabled")
+	}
+}
