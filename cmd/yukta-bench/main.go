@@ -12,6 +12,9 @@
 //	yukta-bench -faults           # robustness sweep: E×D degradation vs fault intensity
 //	yukta-bench -faults -quick -faultseed 7
 //	yukta-bench -faults -supervise # add the supervised SSV scheme + per-class supervised table
+//	yukta-bench -faults -quick -supervise -trace traces/ -metrics
+//	yukta-bench -faults -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+//	yukta-bench -tracecheck traces/ # validate recorded JSONL against the schema
 package main
 
 import (
@@ -19,9 +22,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"yukta/internal/exp"
+	"yukta/internal/obs"
 )
 
 var quickApps = []string{"gamess", "mcf", "blackscholes", "streamcluster"}
@@ -38,8 +44,52 @@ func main() {
 		faults    = flag.Bool("faults", false, "run the robustness sweep (scheme × fault-intensity degradation table)")
 		faultSeed = flag.Int64("faultseed", 1, "base seed of the injected fault campaign")
 		supervise = flag.Bool("supervise", false, "add the supervised SSV scheme to the robustness sweep and print the per-class supervised degradation table")
+		traceDir  = flag.String("trace", "", "directory for per-run flight-recorder traces (fault sweeps only)")
+		metrics   = flag.Bool("metrics", false, "collect a harness-wide metrics registry and print it to stderr on exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		traceChk  = flag.String("tracecheck", "", "validate every .jsonl flight-recorder trace in this directory against the record schema, then exit")
 	)
 	flag.Parse()
+
+	if *traceChk != "" {
+		if err := checkTraces(*traceChk); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			werr := pprof.Lookup("allocs").WriteTo(f, 0)
+			cerr := f.Close()
+			if werr != nil {
+				fatal(werr)
+			}
+			if cerr != nil {
+				fatal(cerr)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("figures: 9 10 11 12 13 14 15a 15b 16a 16b 17 conv abl cost")
@@ -72,9 +122,19 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "building platform (identification + model fitting + controller synthesis)...")
-	ctx, err := exp.NewContextWithOptions(exp.Options{Parallelism: *parallel, Seed: *faultSeed, Supervise: *supervise})
+	ctx, err := exp.NewContextWithOptions(exp.Options{
+		Parallelism: *parallel,
+		Seed:        *faultSeed,
+		Supervise:   *supervise,
+		TraceDir:    *traceDir,
+		Metrics:     *metrics,
+	})
 	if err != nil {
 		fatal(err)
+	}
+	if ctx.Metrics != nil {
+		ctx.Metrics.Publish("yukta")
+		defer func() { fmt.Fprint(os.Stderr, ctx.Metrics.Render()) }()
 	}
 
 	if *faults {
@@ -238,6 +298,34 @@ func dumpCSV(dir, prefix string, tr *exp.TraceSet) {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
+}
+
+// checkTraces validates every .jsonl file in dir against the flight-recorder
+// schema and reports per-file record counts.
+func checkTraces(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no .jsonl traces in %s", dir)
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		n, verr := obs.ValidateJSONL(f)
+		cerr := f.Close()
+		if verr != nil {
+			return fmt.Errorf("%s: %w", path, verr)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("%s: %d records OK\n", path, n)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 //
 //	yukta-sim -app blackscholes -scheme yukta-full
 //	yukta-sim -app mcf -scheme coordinated -trace
+//	yukta-sim -app gamess -scheme yukta-supervised -faults 2 -record run.jsonl
 //	yukta-sim -list
 package main
 
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"yukta"
@@ -20,23 +22,27 @@ import (
 
 func schemes(p *yukta.Platform) map[string]yukta.Scheme {
 	return map[string]yukta.Scheme{
-		"coordinated":   p.CoordinatedHeuristic(),
-		"decoupled":     p.DecoupledHeuristic(),
-		"yukta-hw":      p.YuktaHWSSVOSHeuristic(yukta.DefaultHWParams()),
-		"yukta-full":    p.YuktaFullSSV(yukta.DefaultHWParams(), yukta.DefaultOSParams()),
-		"lqg-mono":      p.MonolithicLQG(),
-		"lqg-decoupled": p.DecoupledLQG(),
+		"coordinated":      p.CoordinatedHeuristic(),
+		"decoupled":        p.DecoupledHeuristic(),
+		"yukta-hw":         p.YuktaHWSSVOSHeuristic(yukta.DefaultHWParams()),
+		"yukta-full":       p.YuktaFullSSV(yukta.DefaultHWParams(), yukta.DefaultOSParams()),
+		"yukta-supervised": p.SupervisedYuktaSSV(yukta.DefaultHWParams(), yukta.DefaultOSParams()),
+		"lqg-mono":         p.MonolithicLQG(),
+		"lqg-decoupled":    p.DecoupledLQG(),
 	}
 }
 
 func main() {
 	var (
-		app     = flag.String("app", "blackscholes", "workload name")
-		scheme  = flag.String("scheme", "yukta-full", "controller scheme")
-		trace   = flag.Bool("trace", false, "print ASCII power/performance traces")
-		maxTime = flag.Duration("max", 25*time.Minute, "simulation time budget")
-		noise   = flag.Float64("noise", 0, "power-sensor noise std-dev in watts (failure injection)")
-		list    = flag.Bool("list", false, "list workloads and schemes")
+		app       = flag.String("app", "blackscholes", "workload name")
+		scheme    = flag.String("scheme", "yukta-full", "controller scheme")
+		trace     = flag.Bool("trace", false, "print ASCII power/performance traces")
+		maxTime   = flag.Duration("max", 25*time.Minute, "simulation time budget")
+		noise     = flag.Float64("noise", 0, "power-sensor noise std-dev in watts (failure injection)")
+		faults    = flag.Float64("faults", 0, "fault-campaign intensity (0 = clean; 1 = harness's harshest default)")
+		faultSeed = flag.Int64("faultseed", 1, "base seed of the injected fault campaign")
+		record    = flag.String("record", "", "write the flight-recorder decision log to this JSONL path and print its timeline")
+		list      = flag.Bool("list", false, "list workloads and schemes")
 	)
 	flag.Parse()
 
@@ -44,7 +50,7 @@ func main() {
 		fmt.Println("workloads:", yukta.EvaluationApps())
 		fmt.Println("training: ", yukta.TrainingApps())
 		fmt.Println("mixes:    blmc stga blst mcga")
-		fmt.Println("schemes:  coordinated decoupled yukta-hw yukta-full lqg-mono lqg-decoupled")
+		fmt.Println("schemes:  coordinated decoupled yukta-hw yukta-full yukta-supervised lqg-mono lqg-decoupled")
 		return
 	}
 
@@ -66,7 +72,16 @@ func main() {
 		cfg.SensorNoiseStd = *noise
 		cfg.SensorNoiseSeed = 1
 	}
-	res, err := yukta.Run(cfg, sch, w, yukta.RunOptions{MaxTime: *maxTime})
+	opt := yukta.RunOptions{MaxTime: *maxTime}
+	if *faults > 0 {
+		opt.Faults = yukta.FaultPreset(*faultSeed, *faults)
+	}
+	var rec *yukta.FlightRecorder
+	if *record != "" {
+		rec = yukta.NewFlightRecorder(int(*maxTime/(500*time.Millisecond)) + 1)
+		opt.Trace = rec
+	}
+	res, err := yukta.Run(cfg, sch, w, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,11 +90,45 @@ func main() {
 		res.Completed, res.TimeS, res.EnergyJ, res.ExD, res.EmergencyEvents)
 	st := res.BigPower.Summarize()
 	fmt.Printf("big power: mean=%.2fW max=%.2fW swings=%d\n", st.Mean, st.Max, st.Oscillations)
+	if sup := res.Supervisor; sup != nil {
+		fmt.Printf("supervisor: trips=%d recoveries=%d fallback=%.1fs\n",
+			sup.Trips, sup.Recoveries, float64(sup.FallbackSteps)*res.IntervalS)
+	}
+	if fs := res.Faults; fs.DroppedReadings+fs.StaleReadings+fs.HeldCommands+fs.SkewedCommands+fs.ForcedThrottles > 0 {
+		fmt.Printf("faults: dropped=%d stale=%d held=%d skewed=%d forcedTMU=%d\n",
+			fs.DroppedReadings, fs.StaleReadings, fs.HeldCommands, fs.SkewedCommands, fs.ForcedThrottles)
+	}
+	if rec != nil {
+		if err := writeRecord(*record, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *record, rec.Len())
+		fmt.Println(rec.Timeline(76))
+	}
 	if *trace {
 		fmt.Println(res.BigPower.RenderASCII(76, 10))
 		fmt.Println(res.Perf.RenderASCII(76, 10))
 		fmt.Println(res.Temp.RenderASCII(76, 10))
 	}
+}
+
+// writeRecord persists the flight recorder's decision log as JSONL.
+func writeRecord(path string, rec *yukta.FlightRecorder) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rec.WriteJSONL(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // lookup resolves an app or mix name.

@@ -22,6 +22,8 @@ var doclintPackages = []string{
 	"internal/lqgctl",
 	"internal/heuristic",
 	"internal/supervisor",
+	"internal/obs",
+	"internal/series",
 }
 
 // TestExportedIdentifiersDocumented fails on any exported identifier —

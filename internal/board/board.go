@@ -261,6 +261,36 @@ func (b *Board) SetLittleFreq(ghz float64) {
 // fault (a lost or misapplied DVFS/hotplug command).
 func (b *Board) ActuatorMismatches() int { return b.actMismatches }
 
+// ActuatorState is a read-only snapshot of the board's operating point:
+// the commanded (requested) actuator settings next to the applied
+// (effective, post-firmware-cap) ones, plus the thread placement split. The
+// flight recorder captures one per control interval — the commanded/applied
+// divergence is how firmware overrides show up in a trace.
+type ActuatorState struct {
+	// BigCores and LittleCores are the hotplug states per cluster.
+	BigCores, LittleCores int
+	// BigFreqGHz and LittleFreqGHz are the requested frequencies (GHz).
+	BigFreqGHz, LittleFreqGHz float64
+	// EffBigFreqGHz and EffLittleFreqGHz are the applied frequencies after
+	// firmware throttle caps (GHz).
+	EffBigFreqGHz, EffLittleFreqGHz float64
+	// ThreadsBig is the number of threads placed on the big cluster.
+	ThreadsBig int
+}
+
+// ActuatorState snapshots the commanded-vs-applied operating point.
+func (b *Board) ActuatorState() ActuatorState {
+	return ActuatorState{
+		BigCores:         b.bigCores,
+		LittleCores:      b.littleCores,
+		BigFreqGHz:       b.bigFreq,
+		LittleFreqGHz:    b.littleFreq,
+		EffBigFreqGHz:    b.EffectiveBigFreq(),
+		EffLittleFreqGHz: b.EffectiveLittleFreq(),
+		ThreadsBig:       b.place.ThreadsBig,
+	}
+}
+
 // BigCores returns the hotplug state of the big cluster.
 func (b *Board) BigCores() int { return b.bigCores }
 

@@ -8,6 +8,7 @@ import (
 	"yukta/internal/heuristic"
 	"yukta/internal/lqgctl"
 	"yukta/internal/lti"
+	"yukta/internal/obs"
 	"yukta/internal/robust"
 	"yukta/internal/ssvctl"
 )
@@ -37,6 +38,33 @@ type Platform struct {
 	// concurrent runs of the §VI-B schemes share one synthesis.
 	monoLQG   lqgEntry
 	decoupLQG decoupEntry
+
+	// metrics, when attached, counts controller-cache hits and misses
+	// (synth_cache_hits_total / synth_cache_misses_total).
+	metrics *obs.Registry
+}
+
+// AttachMetrics registers the registry the platform's controller caches
+// count their hits and misses into (nil detaches). Safe to call
+// concurrently with cache lookups, but conventionally done once right after
+// NewPlatform.
+func (p *Platform) AttachMetrics(r *obs.Registry) {
+	p.mu.Lock()
+	p.metrics = r
+	p.mu.Unlock()
+}
+
+// countCache records one controller-cache access against the attached
+// registry (m may be nil).
+func countCache(m *obs.Registry, hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.Counter("synth_cache_hits_total").Add(1)
+	} else {
+		m.Counter("synth_cache_misses_total").Add(1)
+	}
 }
 
 // hwEntry is a single-flight cache slot for one hardware design.
@@ -54,17 +82,22 @@ type osEntry struct {
 }
 
 // lqgEntry is a single-flight cache slot for the monolithic LQG design.
+// seen (guarded by the platform mutex) marks the first access, for the
+// cache hit/miss accounting.
 type lqgEntry struct {
 	once sync.Once
 	ctl  *robust.Controller
 	err  error
+	seen bool
 }
 
-// decoupEntry is a single-flight cache slot for the decoupled LQG pair.
+// decoupEntry is a single-flight cache slot for the decoupled LQG pair,
+// with the same first-access marker as lqgEntry.
 type decoupEntry struct {
 	once   sync.Once
 	hw, os *robust.Controller
 	err    error
+	seen   bool
 }
 
 // NewPlatform collects training data on the given board configuration and
@@ -228,7 +261,9 @@ func (p *Platform) HWControllerValidated(hp HWParams) (*robust.Controller, error
 		e = &hwEntry{}
 		p.hwCache[hp] = e
 	}
+	m := p.metrics
 	p.mu.Unlock()
+	countCache(m, ok)
 	e.once.Do(func() { e.ctl, e.err = p.SynthesizeHWSSVValidated(hp) })
 	return e.ctl, e.err
 }
@@ -251,7 +286,9 @@ func (p *Platform) OSControllerValidated(op OSParams) (*robust.Controller, error
 		e = &osEntry{}
 		p.osCache[op] = e
 	}
+	m := p.metrics
 	p.mu.Unlock()
+	countCache(m, ok)
 	e.once.Do(func() { e.ctl, e.err = p.SynthesizeOSSSVValidated(op, hwCtl) })
 	return e.ctl, e.err
 }
@@ -260,6 +297,11 @@ func (p *Platform) OSControllerValidated(op OSParams) (*robust.Controller, error
 // synthesizing it on first use (single-flight).
 func (p *Platform) MonolithicLQGController() (*robust.Controller, error) {
 	e := &p.monoLQG
+	p.mu.Lock()
+	m, hit := p.metrics, e.seen
+	e.seen = true
+	p.mu.Unlock()
+	countCache(m, hit)
 	e.once.Do(func() { e.ctl, e.err = p.SynthesizeMonolithicLQG() })
 	return e.ctl, e.err
 }
@@ -268,6 +310,11 @@ func (p *Platform) MonolithicLQGController() (*robust.Controller, error) {
 // synthesizing it on first use (single-flight).
 func (p *Platform) DecoupledLQGControllers() (hw, os *robust.Controller, err error) {
 	e := &p.decoupLQG
+	p.mu.Lock()
+	m, hit := p.metrics, e.seen
+	e.seen = true
+	p.mu.Unlock()
+	countCache(m, hit)
 	e.once.Do(func() { e.hw, e.os, e.err = p.SynthesizeDecoupledLQG() })
 	return e.hw, e.os, e.err
 }

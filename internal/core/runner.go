@@ -6,6 +6,7 @@ import (
 
 	"yukta/internal/board"
 	"yukta/internal/fault"
+	"yukta/internal/obs"
 	"yukta/internal/series"
 	"yukta/internal/supervisor"
 	"yukta/internal/workload"
@@ -38,6 +39,9 @@ type RunResult struct {
 	Supervisor *supervisor.Stats
 
 	// Traces of the signals plotted in the paper's time-series figures.
+	// All five are nil when the run was executed with
+	// RunOptions.SkipSeries — scalar-only sweeps opt out of the buffers
+	// they would otherwise discard.
 	BigPower    *series.Series // Figure 10 / 17
 	LittlePower *series.Series
 	Perf        *series.Series // Figure 11 / 15(a)
@@ -59,6 +63,23 @@ type RunOptions struct {
 	// (Faults.Seed, scheme name, app name), so identical runs see identical
 	// faults at any experiment parallelism.
 	Faults fault.Plan
+	// SkipSeries skips allocating and filling the five series.Series trace
+	// buffers in RunResult. Scalar-only sweeps (degradation tables, bar
+	// figures) set it so thousands of runs do not each retain a full
+	// time-series trace they never read.
+	SkipSeries bool
+	// Trace, when non-nil, receives one obs.Record per control interval:
+	// the sensor vector the controller saw, the commanded vs applied
+	// actuation, the supervisory state and detector pressures, the faults
+	// injected that interval, and the controller step latency. A Recorder
+	// belongs to exactly one run. Nil (the default) keeps the control loop
+	// free of any observation cost.
+	Trace *obs.Recorder
+	// Metrics, when non-nil, aggregates this run into the registry: a
+	// per-scheme step-latency histogram plus run/fault/trip/fallback
+	// counters. Unlike Trace, one Registry is shared across every run of an
+	// experiment session (it is concurrency-safe).
+	Metrics *obs.Registry
 }
 
 // Run executes the workload to completion (or MaxTime) under the scheme on a
@@ -87,15 +108,29 @@ func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*Ru
 		b.AttachActuatorTap(inj)
 	}
 
-	res := &RunResult{
-		App:         w.Name(),
-		Scheme:      sch.Name,
-		BigPower:    series.New("big_power_w"),
-		LittlePower: series.New("little_power_w"),
-		Perf:        series.New("bips"),
-		Temp:        series.New("temp_c"),
-		BigFreq:     series.New("big_freq_ghz"),
+	res := &RunResult{App: w.Name(), Scheme: sch.Name}
+	if !opt.SkipSeries {
+		res.BigPower = series.New("big_power_w")
+		res.LittlePower = series.New("little_power_w")
+		res.Perf = series.New("bips")
+		res.Temp = series.New("temp_c")
+		res.BigFreq = series.New("big_freq_ghz")
 	}
+	// Observation taps. Everything below is nil-guarded so a run without
+	// Trace/Metrics takes no time.Now calls and no extra allocations in the
+	// control loop.
+	observe := opt.Trace != nil || opt.Metrics != nil
+	var lat *obs.Histogram
+	if opt.Metrics != nil {
+		lat = opt.Metrics.Histogram("step_latency_us/"+sch.Name, obs.LatencyBucketsUS())
+	}
+	var hp healthProbe
+	var fp flightProber
+	if opt.Trace != nil {
+		hp, _ = sess.(healthProbe)
+		fp, _ = sess.(flightProber)
+	}
+	var prevFaults fault.Stats
 	maxSteps := int(opt.MaxTime / opt.Interval)
 	var sensors board.Sensors
 	for i := 0; i < maxSteps && !w.Done(); i++ {
@@ -103,12 +138,27 @@ func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*Ru
 			inj.Advance(b)
 		}
 		sensors = b.Run(w, opt.Interval)
+		var t0 time.Time
+		if observe {
+			t0 = time.Now()
+		}
 		sess.Step(sensors, b, w.Profile().Threads)
-		res.BigPower.Add(sensors.TimeS, sensors.BigPowerW)
-		res.LittlePower.Add(sensors.TimeS, sensors.LittlePowerW)
-		res.Perf.Add(sensors.TimeS, sensors.BIPS)
-		res.Temp.Add(sensors.TimeS, sensors.TempC)
-		res.BigFreq.Add(sensors.TimeS, b.EffectiveBigFreq())
+		if observe {
+			latNS := time.Since(t0).Nanoseconds()
+			if lat != nil {
+				lat.Observe(float64(latNS) / 1e3)
+			}
+			if opt.Trace != nil {
+				recordInterval(opt.Trace, i, sensors, b, inj, &prevFaults, hp, fp, latNS)
+			}
+		}
+		if !opt.SkipSeries {
+			res.BigPower.Add(sensors.TimeS, sensors.BigPowerW)
+			res.LittlePower.Add(sensors.TimeS, sensors.LittlePowerW)
+			res.Perf.Add(sensors.TimeS, sensors.BIPS)
+			res.Temp.Add(sensors.TimeS, sensors.TempC)
+			res.BigFreq.Add(sensors.TimeS, b.EffectiveBigFreq())
+		}
 	}
 	res.Completed = w.Done()
 	res.TimeS = b.TimeS()
@@ -123,7 +173,100 @@ func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*Ru
 		st := sr.SupervisorStats()
 		res.Supervisor = &st
 	}
+	if opt.Metrics != nil {
+		countRun(opt.Metrics, res)
+	}
 	return res, nil
+}
+
+// recordInterval distills one control interval into an obs.Record and
+// appends it to the recorder. prevFaults latches the injector's cumulative
+// stats so the record carries per-interval deltas (their sums over a run
+// reproduce fault.Stats exactly).
+func recordInterval(tr *obs.Recorder, step int, s board.Sensors, b *board.Board,
+	inj *fault.Injector, prevFaults *fault.Stats, hp healthProbe, fp flightProber, latNS int64) {
+
+	act := b.ActuatorState()
+	rec := obs.Record{
+		Step:             step,
+		TimeS:            s.TimeS,
+		BigPowerW:        s.BigPowerW,
+		LittlePowerW:     s.LittlePowerW,
+		TempC:            s.TempC,
+		BIPS:             s.BIPS,
+		BIPSBig:          s.BIPSBig,
+		BIPSLittle:       s.BIPSLittle,
+		Throttled:        s.Throttled,
+		ThermalThrottled: s.ThermalThrottled,
+		CmdBigCores:      act.BigCores,
+		CmdLittleCores:   act.LittleCores,
+		CmdBigGHz:        act.BigFreqGHz,
+		CmdLittleGHz:     act.LittleFreqGHz,
+		EffBigGHz:        act.EffBigFreqGHz,
+		EffLittleGHz:     act.EffLittleFreqGHz,
+		ThreadsBig:       act.ThreadsBig,
+		LatencyNS:        latNS,
+	}
+	if inj != nil {
+		cur := inj.Stats()
+		rec.FaultDropped = cur.DroppedReadings - prevFaults.DroppedReadings
+		rec.FaultStale = cur.StaleReadings - prevFaults.StaleReadings
+		rec.FaultHeld = cur.HeldCommands - prevFaults.HeldCommands
+		rec.FaultSkewed = cur.SkewedCommands - prevFaults.SkewedCommands
+		rec.FaultForced = cur.ForcedThrottles - prevFaults.ForcedThrottles
+		*prevFaults = cur
+	}
+	if hp != nil {
+		h := hp.controllerHealth()
+		rec.CtlGuardbandStreak = h.GuardbandStreak
+		rec.CtlHeldSteps = h.HeldSteps
+		rec.CtlRailed = h.Railed
+		rec.CtlNonFinite = h.NonFinite
+	}
+	if fp != nil {
+		p := fp.flightProbe()
+		rec.SupState = p.State.String()
+		rec.SupTripped = p.Tripped
+		if p.Tripped {
+			rec.SupCause = p.Cause.String()
+		}
+		rec.SupReengage = p.Reengage
+		rec.SupBlockRaise = p.BlockRaise
+		rec.DetSuspect = p.SuspectStreak
+		rec.DetRail = p.RailStreak
+		rec.DetChatter = p.ChatterCount
+		rec.DetDropout = p.DropoutCount
+		rec.DetMismatch = p.MismatchCount
+		rec.DetThrottle = p.ThrottleCount
+		rec.DetCostRatio = p.CostRatio
+	}
+	tr.Add(rec)
+}
+
+// countRun folds one completed run into the metrics registry.
+func countRun(m *obs.Registry, res *RunResult) {
+	m.Counter("runs_total").Add(1)
+	if !res.Completed {
+		m.Counter("runs_incomplete_total").Add(1)
+	}
+	f := res.Faults
+	if n := f.DroppedReadings + f.StaleReadings + f.HeldCommands +
+		f.SkewedCommands + f.ForcedThrottles; n > 0 {
+		m.Counter("faults_injected_total").Add(int64(n))
+		m.Counter("faults_dropped_total").Add(int64(f.DroppedReadings))
+		m.Counter("faults_stale_total").Add(int64(f.StaleReadings))
+		m.Counter("faults_held_total").Add(int64(f.HeldCommands))
+		m.Counter("faults_skewed_total").Add(int64(f.SkewedCommands))
+		m.Counter("faults_forced_total").Add(int64(f.ForcedThrottles))
+	}
+	if sup := res.Supervisor; sup != nil {
+		m.Counter("supervised_runs_total").Add(1)
+		m.Counter("supervisor_trips_total").Add(int64(sup.Trips))
+		m.Counter("supervisor_fallback_steps_total").Add(int64(sup.FallbackSteps))
+		m.Counter("supervisor_recoveries_total").Add(int64(sup.Recoveries))
+		m.Counter("supervisor_frozen_steps_total").Add(int64(sup.FrozenSteps))
+		m.Counter("supervisor_distrust_steps_total").Add(int64(sup.DistrustSteps))
+	}
 }
 
 // FixedTargetSession drives the SSV layers with constant output targets

@@ -40,6 +40,13 @@ type freqLimiter interface {
 	setFreqCeiling(bigGHz, littleGHz float64)
 }
 
+// flightProber is implemented by sessions that expose a supervisory
+// flight-recorder probe; the runner uses it to fill the sup_*/det_* fields
+// of each interval's obs.Record.
+type flightProber interface {
+	flightProbe() supervisor.Probe
+}
+
 // SupervisorReporter is implemented by supervised sessions; the runner uses
 // it to surface the supervisory accounting in RunResult.
 type SupervisorReporter interface {
@@ -70,6 +77,13 @@ type supervisedSession struct {
 	// lastMism is the board's cumulative actuator-mismatch count after the
 	// previous step, for detecting this step's write-verification failures.
 	lastMism int
+
+	// lastRan is the supervisory state the latest interval ran under and
+	// lastAct the action it produced — the flight recorder's view of this
+	// interval (the monitor itself already reports the NEXT interval's
+	// state after Observe).
+	lastRan supervisor.State
+	lastAct supervisor.Action
 
 	// blockRaise carries the monitor's no-raise clamp verdict from the
 	// previous interval into this one (distrusted evidence is only knowable
@@ -162,6 +176,7 @@ func (v *supervisedSession) Step(s board.Sensors, b *board.Board, threads int) {
 		}
 	}
 	act := v.mon.Observe(smp)
+	v.lastRan, v.lastAct = state, act
 	v.blockRaise = act.BlockRaise
 	if act.Tripped {
 		// Bumpless transfer to the fallback. The heuristic's HW layer is
@@ -192,6 +207,19 @@ func (v *supervisedSession) Step(s board.Sensors, b *board.Board, threads int) {
 
 // SupervisorStats implements SupervisorReporter.
 func (v *supervisedSession) SupervisorStats() supervisor.Stats { return v.mon.Stats() }
+
+// flightProbe implements flightProber: the monitor's live detector
+// pressures, overlaid with the state the latest interval actually ran under
+// and the one-shot transfer flags its observation produced.
+func (v *supervisedSession) flightProbe() supervisor.Probe {
+	p := v.mon.Probe()
+	p.State = v.lastRan
+	p.Tripped = v.lastAct.Tripped
+	p.Cause = v.lastAct.Cause
+	p.Reengage = v.lastAct.Reengage
+	p.BlockRaise = v.lastAct.BlockRaise
+	return p
+}
 
 // sanitize replaces non-finite sensor fields with the last finite value seen
 // (or a neutral default before any), and reports whether the raw view was

@@ -43,14 +43,14 @@ func (c *Context) AblationReport(apps []string) (*Ablation, error) {
 		}
 	}
 	grid := make([]float64, len(variants)*len(apps))
-	err := forEach(c.workers(), len(grid), func(i int) error {
+	err := c.forEach(len(grid), func(i int) error {
 		sch := variants[i/len(apps)]
 		app := apps[i%len(apps)]
 		w, err := workload.Lookup(app)
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(c.P.Cfg, sch, w, runOpts())
+		res, err := core.Run(c.P.Cfg, sch, w, c.scalarOpts())
 		if err != nil {
 			return fmt.Errorf("exp: ablation %q on %s: %w", sch.Name, app, err)
 		}

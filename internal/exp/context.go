@@ -12,6 +12,7 @@ import (
 
 	"yukta/internal/board"
 	"yukta/internal/core"
+	"yukta/internal/obs"
 	"yukta/internal/series"
 	"yukta/internal/workload"
 )
@@ -34,6 +35,15 @@ type Context struct {
 	// Supervise adds the supervised SSV scheme to the robustness sweep; see
 	// Options.Supervise.
 	Supervise bool
+
+	// TraceDir, when non-empty, directs the fault sweeps to write per-run
+	// flight-recorder traces here; see Options.TraceDir.
+	TraceDir string
+
+	// Metrics is the harness-wide metrics registry threaded into every run
+	// and the worker pool, or nil when metrics collection is off; see
+	// Options.Metrics.
+	Metrics *obs.Registry
 }
 
 // NewContext builds the platform (identification plus model fitting) with
@@ -52,7 +62,18 @@ func NewContextWithOptions(opt Options) (*Context, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Context{P: p, Parallelism: opt.Parallelism, Seed: seed, Supervise: opt.Supervise}, nil
+	c := &Context{
+		P:           p,
+		Parallelism: opt.Parallelism,
+		Seed:        seed,
+		Supervise:   opt.Supervise,
+		TraceDir:    opt.TraceDir,
+	}
+	if opt.Metrics {
+		c.Metrics = obs.NewRegistry()
+		p.AttachMetrics(c.Metrics)
+	}
+	return c, nil
 }
 
 // DefaultHWParamsForBench re-exports the Table II defaults for the
@@ -69,6 +90,24 @@ func EvalApps() []string {
 // runOpts is the standard per-run limit.
 func runOpts() core.RunOptions {
 	return core.RunOptions{MaxTime: 1500 * time.Second}
+}
+
+// scalarOpts is runOpts for drivers that only consume scalar results
+// (energy, mean power, completion): the per-run series buffers are skipped
+// and the context's metrics registry is attached.
+func (c *Context) scalarOpts() core.RunOptions {
+	opt := runOpts()
+	opt.SkipSeries = true
+	opt.Metrics = c.Metrics
+	return opt
+}
+
+// traceOpts is runOpts with the context's metrics registry attached, keeping
+// the series buffers for drivers that plot signals over time.
+func (c *Context) traceOpts() core.RunOptions {
+	opt := runOpts()
+	opt.Metrics = c.Metrics
+	return opt
 }
 
 // BarSet holds one bar-chart figure: per scheme, per app, a metric value.

@@ -135,7 +135,7 @@ func (c *Context) optimizerSettle(sch core.Scheme) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := core.Run(c.P.Cfg, sch, w, runOpts())
+	res, err := core.Run(c.P.Cfg, sch, w, c.traceOpts())
 	if err != nil {
 		return 0, err
 	}
@@ -217,7 +217,7 @@ func (c *Context) ConvergenceReport() (*Convergence, error) {
 			return err
 		},
 	}
-	if err := forEach(c.workers(), len(jobs), func(i int) error { return jobs[i]() }); err != nil {
+	if err := c.forEach(len(jobs), func(i int) error { return jobs[i]() }); err != nil {
 		return nil, err
 	}
 	return out, nil

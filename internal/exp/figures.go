@@ -64,14 +64,14 @@ func (c *Context) runMatrix(title string, schemes []core.Scheme, apps []string,
 	}
 	type cell struct{ exd, time float64 }
 	results := make([]cell, len(schemes)*len(apps))
-	err = forEach(c.workers(), len(results), func(i int) error {
+	err = c.forEach(len(results), func(i int) error {
 		sch := schemes[i/len(apps)]
 		app := apps[i%len(apps)]
 		w, err := loader(app)
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(c.P.Cfg, sch, w, runOpts())
+		res, err := core.Run(c.P.Cfg, sch, w, c.scalarOpts())
 		if err != nil {
 			return fmt.Errorf("exp: %s on %s: %w", sch.Name, app, err)
 		}
@@ -131,12 +131,12 @@ func (c *Context) traceFigure(title string, schemes []core.Scheme,
 		}
 	}
 	traces := make([]*series.Series, len(schemes))
-	err := forEach(c.workers(), len(schemes), func(i int) error {
+	err := c.forEach(len(schemes), func(i int) error {
 		w, err := workload.Lookup("blackscholes")
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(c.P.Cfg, schemes[i], w, runOpts())
+		res, err := core.Run(c.P.Cfg, schemes[i], w, c.traceOpts())
 		if err != nil {
 			return err
 		}

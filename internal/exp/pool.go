@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"yukta/internal/core"
+	"yukta/internal/obs"
 )
 
 // Options configures the experiment harness.
@@ -26,6 +27,17 @@ type Options struct {
 	// wrapping the full SSV stack) to the robustness sweep and enables the
 	// supervisor-accounting section of its table.
 	Supervise bool
+
+	// TraceDir, when non-empty, makes the fault sweeps attach a flight
+	// recorder to every run and write one <stem>.jsonl decision log plus a
+	// <stem>.timeline.txt rendering per (level, scheme, app) into this
+	// directory. Traces are byte-identical at any Parallelism.
+	TraceDir string
+
+	// Metrics, when true, creates an obs.Registry on the Context and threads
+	// it through every run and the worker pool, accumulating step-latency
+	// histograms, cache hit rates, fault/trip counters and pool occupancy.
+	Metrics bool
 }
 
 // workers resolves the context's parallelism setting to a concrete count.
@@ -47,15 +59,35 @@ func (c *Context) workers() int {
 // hit an error first. After any failure the remaining unstarted jobs are
 // skipped.
 func forEach(workers, n int, fn func(i int) error) error {
+	return forEachMetered(workers, n, nil, fn)
+}
+
+// forEachMetered is forEach with optional pool instrumentation: when m is
+// non-nil every executed job increments pool_jobs_total and holds the
+// pool_workers_active gauge (whose high-water mark records the peak
+// occupancy) for the duration of fn. Instrumentation never changes
+// scheduling, so traces and tables stay byte-identical with it on.
+func forEachMetered(workers, n int, m *obs.Registry, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	run := fn
+	if m != nil {
+		jobs := m.Counter("pool_jobs_total")
+		active := m.Gauge("pool_workers_active")
+		run = func(i int) error {
+			jobs.Add(1)
+			active.Add(1)
+			defer active.Add(-1)
+			return fn(i)
+		}
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -73,7 +105,7 @@ func forEach(workers, n int, fn func(i int) error) error {
 				if failed.Load() {
 					continue
 				}
-				if err := fn(i); err != nil {
+				if err := run(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -93,6 +125,12 @@ func forEach(workers, n int, fn func(i int) error) error {
 	return nil
 }
 
+// forEach is the Context-level fan-out: it uses the context's worker count
+// and its metrics registry (nil when metrics are off).
+func (c *Context) forEach(n int, fn func(i int) error) error {
+	return forEachMetered(c.workers(), n, c.Metrics, fn)
+}
+
 // warmSchemes builds one session per scheme concurrently before the run
 // matrix fans out. Controller synthesis is the expensive part of a session
 // and is single-flighted in the Platform caches, so without this step every
@@ -100,7 +138,7 @@ func forEach(workers, n int, fn func(i int) error) error {
 // cache entry; warming instead synthesizes the distinct controllers in
 // parallel, once each.
 func (c *Context) warmSchemes(schemes []core.Scheme) error {
-	return forEach(c.workers(), len(schemes), func(i int) error {
+	return c.forEach(len(schemes), func(i int) error {
 		if _, err := schemes[i].New(); err != nil {
 			return fmt.Errorf("exp: warming scheme %q: %w", schemes[i].Name, err)
 		}

@@ -158,7 +158,7 @@ func (c *Context) RobustnessSweep(apps []string, intensities []float64) (*Robust
 	}
 	nPer := len(schemes) * len(apps)
 	results := make([]cell, len(levels)*nPer)
-	err := forEach(c.workers(), len(results), func(i int) error {
+	err := c.forEach(len(results), func(i int) error {
 		s := levels[i/nPer]
 		sch := schemes[(i%nPer)/len(apps)]
 		app := apps[i%len(apps)]
@@ -166,11 +166,18 @@ func (c *Context) RobustnessSweep(apps []string, intensities []float64) (*Robust
 		if err != nil {
 			return err
 		}
-		opt := runOpts()
+		opt := c.scalarOpts()
 		opt.Faults = fault.Preset(c.Seed, s)
+		rec := c.attachRecorder(&opt)
 		res, err := core.Run(c.P.Cfg, sch, w, opt)
 		if err != nil {
 			return fmt.Errorf("exp: %s on %s at intensity %.2f: %w", sch.Name, app, s, err)
+		}
+		if rec != nil {
+			stem := fmt.Sprintf("robust-s%.2f-%s-%s", s, cleanName(sch.Name), cleanName(app))
+			if err := c.writeTrace(stem, rec); err != nil {
+				return err
+			}
 		}
 		results[i] = cell{exd: res.ExD, completed: res.Completed, stats: res.Faults,
 			sup: res.Supervisor, intervalS: res.IntervalS}

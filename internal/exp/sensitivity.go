@@ -54,7 +54,7 @@ func (c *Context) Fig15a() (*TraceSet, error) {
 		Series: map[string]*series.Series{}}
 	vs := boundsVariants()
 	traces := make([]*series.Series, len(vs))
-	err := forEach(c.workers(), len(vs), func(i int) error {
+	err := c.forEach(len(vs), func(i int) error {
 		v := vs[i]
 		hw, err := c.P.NewFixedHWSession(v.HW, []float64{5.5, 2.5, 0.2, 70})
 		if err != nil {
@@ -71,7 +71,8 @@ func (c *Context) Fig15a() (*TraceSet, error) {
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(c.P.Cfg, sch, w, core.RunOptions{MaxTime: 500 * time.Second})
+		res, err := core.Run(c.P.Cfg, sch, w,
+			core.RunOptions{MaxTime: 500 * time.Second, Metrics: c.Metrics})
 		if err != nil {
 			return err
 		}
@@ -122,7 +123,7 @@ type GuardbandPoint struct {
 func (c *Context) Fig16a() ([]GuardbandPoint, error) {
 	gbs := []float64{0.4, 1.0, 1.5, 2.5, 5.0}
 	out := make([]GuardbandPoint, len(gbs))
-	err := forEach(c.workers(), len(gbs), func(i int) error {
+	err := c.forEach(len(gbs), func(i int) error {
 		gb := gbs[i]
 		hp := core.DefaultHWParams()
 		hp.Uncertainty = gb
@@ -183,7 +184,7 @@ func (c *Context) Fig17() (*TraceSet, error) {
 	weights := []float64{0.5, 1, 2}
 	labels := make([]string, len(weights))
 	traces := make([]*series.Series, len(weights))
-	err := forEach(c.workers(), len(weights), func(i int) error {
+	err := c.forEach(len(weights), func(i int) error {
 		w := weights[i]
 		hp := core.DefaultHWParams()
 		hp.InputWeight = w
@@ -203,7 +204,8 @@ func (c *Context) Fig17() (*TraceSet, error) {
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(c.P.Cfg, sch, wk, core.RunOptions{MaxTime: 500 * time.Second})
+		res, err := core.Run(c.P.Cfg, sch, wk,
+			core.RunOptions{MaxTime: 500 * time.Second, Metrics: c.Metrics})
 		if err != nil {
 			return err
 		}

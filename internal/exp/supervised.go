@@ -138,7 +138,7 @@ func (c *Context) SupervisedClassSweep(apps []string, intensity float64) (*Class
 	}
 	nPer := len(schemes) * len(apps)
 	results := make([]cell, len(levels)*nPer)
-	err := forEach(c.workers(), len(results), func(i int) error {
+	err := c.forEach(len(results), func(i int) error {
 		level := levels[i/nPer]
 		sch := schemes[(i%nPer)/len(apps)]
 		app := apps[i%len(apps)]
@@ -146,13 +146,20 @@ func (c *Context) SupervisedClassSweep(apps []string, intensity float64) (*Class
 		if err != nil {
 			return err
 		}
-		opt := runOpts()
+		opt := c.scalarOpts()
 		if level != "clean" {
 			opt.Faults = fault.PresetClass(c.Seed, intensity, level)
 		}
+		rec := c.attachRecorder(&opt)
 		res, err := core.Run(c.P.Cfg, sch, w, opt)
 		if err != nil {
 			return fmt.Errorf("exp: %s on %s under %s faults: %w", sch.Name, app, level, err)
+		}
+		if rec != nil {
+			stem := fmt.Sprintf("class-%s-%s-%s", cleanName(level), cleanName(sch.Name), cleanName(app))
+			if err := c.writeTrace(stem, rec); err != nil {
+				return err
+			}
 		}
 		results[i] = cell{exd: res.ExD, completed: res.Completed,
 			sup: res.Supervisor, intervalS: res.IntervalS}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Add(3)
+	r.Counter("jobs").Add(2)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5 (same counter shared by name)", got)
+	}
+	g := r.Gauge("active")
+	g.Add(4)
+	g.Add(-3)
+	if g.Value() != 1 || g.Max() != 4 {
+		t.Fatalf("gauge value=%d max=%d, want 1 and 4", g.Value(), g.Max())
+	}
+	g.Set(2)
+	if g.Value() != 2 || g.Max() != 4 {
+		t.Fatalf("after Set: value=%d max=%d, want 2 and 4", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	for _, v := range []float64{0.5, 1.5, 1.5, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 107.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	if h.Min() != 0.5 || h.Max() != 100 {
+		t.Fatalf("min=%g max=%g, want 0.5 and 100", h.Min(), h.Max())
+	}
+	// Overflow-bucket samples report the exact tracked maximum.
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("p100 = %g, want 100", got)
+	}
+	// The median lands in the (1,2] bucket.
+	if got := h.Quantile(0.5); got <= 1 || got > 2 {
+		t.Fatalf("p50 = %g, want within (1,2]", got)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("n").Add(1)
+				g := r.Gauge("g")
+				g.Add(1)
+				r.Histogram("h", LatencyBucketsUS()).Observe(float64(i % 50))
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	g := r.Gauge("g")
+	if g.Value() != 0 {
+		t.Fatalf("gauge settled at %d, want 0", g.Value())
+	}
+	if g.Max() < 1 || g.Max() > workers {
+		t.Fatalf("gauge max = %d, want within [1,%d]", g.Max(), workers)
+	}
+}
+
+func TestRenderAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total").Add(7)
+	r.Gauge("pool_workers_active").Set(3)
+	r.Histogram("step_latency_us/x", LatencyBucketsUS()).Observe(4)
+	out := r.Render()
+	for _, want := range []string{"runs_total", "7", "pool_workers_active", "step_latency_us/x", "count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["runs_total"] != int64(7) {
+		t.Fatalf("snapshot runs_total = %v, want 7", snap["runs_total"])
+	}
+}
+
+func TestPublish(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	r.Publish("yukta_test_metrics")
+	// Publishing a second registry under the same name must not panic.
+	NewRegistry().Publish("yukta_test_metrics")
+	v := expvar.Get("yukta_test_metrics")
+	if v == nil {
+		t.Fatal("expvar.Get returned nil after Publish")
+	}
+	if !strings.Contains(v.String(), `"c":1`) {
+		t.Fatalf("published expvar = %s, want it to carry counter c", v.String())
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(LatencyBucketsUS())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 100))
+	}
+}

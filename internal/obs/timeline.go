@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders the retained records as a compact terminal timeline of
+// the given width (minimum 16 columns): one character column per time
+// bucket, with rows for the supervisory state, trip/re-engage events,
+// injected faults, firmware throttling and the applied big-cluster
+// frequency. It is the alignment view for the paper's time-series figures —
+// trips and fault bursts line up against the frequency trajectory the way
+// Figures 10/11/17 line power against time.
+func (r *Recorder) Timeline(width int) string {
+	if width < 16 {
+		width = 16
+	}
+	n := r.Len()
+	var out strings.Builder
+	if n == 0 {
+		return "flight recorder: no records\n"
+	}
+	first, last := r.At(0), r.At(n-1)
+	fmt.Fprintf(&out, "flight recorder: %d records (%d dropped), t=%.1fs..%.1fs\n",
+		n, r.Dropped(), first.TimeS, last.TimeS)
+
+	supervised := false
+	minF, maxF := first.EffBigGHz, first.EffBigGHz
+	for i := 0; i < n; i++ {
+		rec := r.At(i)
+		if rec.SupState != "" {
+			supervised = true
+		}
+		if rec.EffBigGHz < minF {
+			minF = rec.EffBigGHz
+		}
+		if rec.EffBigGHz > maxF {
+			maxF = rec.EffBigGHz
+		}
+	}
+
+	bucket := func(i int) int {
+		if n <= 1 {
+			return 0
+		}
+		return i * width / n
+	}
+	state := fillRow(width, '.')
+	events := fillRow(width, '.')
+	faults := fillRow(width, '.')
+	throttle := fillRow(width, '.')
+	freq := fillRow(width, ' ')
+	var trips []string
+	for i := 0; i < n; i++ {
+		rec := r.At(i)
+		b := bucket(i)
+		if supervised {
+			takeWorse(&state[b], stateChar(rec.SupState))
+		}
+		if rec.SupTripped {
+			events[b] = 'T'
+			if len(trips) < 16 {
+				trips = append(trips, fmt.Sprintf("%s@t=%.1fs", rec.SupCause, rec.TimeS))
+			}
+		} else if rec.SupReengage && events[b] == '.' {
+			events[b] = 'R'
+		}
+		takeWorse(&faults[b], faultChar(rec))
+		if rec.Throttled {
+			throttle[b] = '#'
+		}
+		if span := maxF - minF; span > 0 {
+			d := int(9 * (rec.EffBigGHz - minF) / span)
+			c := byte('0' + d)
+			if freq[b] == ' ' || c > freq[b] {
+				freq[b] = c
+			}
+		} else {
+			freq[b] = '5'
+		}
+	}
+	if supervised {
+		fmt.Fprintf(&out, "state    |%s|  N=nominal S=suspect F=fallback R=recovering\n", state)
+		fmt.Fprintf(&out, "events   |%s|  T=trip R=re-engage\n", events)
+	}
+	fmt.Fprintf(&out, "faults   |%s|  E=forced-TMU x=dropped h=held-cmd k=skewed-cmd s=stale\n", faults)
+	fmt.Fprintf(&out, "throttle |%s|  #=firmware emergency engaged\n", throttle)
+	fmt.Fprintf(&out, "bigGHz   |%s|  0..9 over [%.2f..%.2f] GHz (applied)\n", freq, minF, maxF)
+	if len(trips) > 0 {
+		fmt.Fprintf(&out, "trips: %s\n", strings.Join(trips, ", "))
+	}
+	return out.String()
+}
+
+// fillRow returns a width-length byte row filled with c.
+func fillRow(width int, c byte) []byte {
+	b := make([]byte, width)
+	for i := range b {
+		b[i] = c
+	}
+	return b
+}
+
+// stateChar maps a supervisory state name to its timeline character.
+func stateChar(state string) byte {
+	switch state {
+	case "suspect":
+		return 'S'
+	case "fallback":
+		return 'F'
+	case "recovering":
+		return 'R'
+	case "nominal":
+		return 'N'
+	}
+	return '.'
+}
+
+// severity orders timeline characters so a bucket covering several intervals
+// shows its most severe one.
+var severity = map[byte]int{
+	'.': 0, ' ': 0,
+	'N': 1, 's': 1,
+	'S': 2, 'k': 2,
+	'R': 3, 'h': 3,
+	'F': 4, 'x': 4,
+	'E': 5,
+}
+
+// takeWorse overwrites *dst with c when c is more severe.
+func takeWorse(dst *byte, c byte) {
+	if severity[c] > severity[*dst] {
+		*dst = c
+	}
+}
+
+// faultChar maps a record's injected faults to a single character, worst
+// first: forced TMU throttle, dropped reading, held command, skewed command,
+// stale reading.
+func faultChar(rec Record) byte {
+	switch {
+	case rec.FaultForced > 0:
+		return 'E'
+	case rec.FaultDropped > 0:
+		return 'x'
+	case rec.FaultHeld > 0:
+		return 'h'
+	case rec.FaultSkewed > 0:
+		return 'k'
+	case rec.FaultStale > 0:
+		return 's'
+	}
+	return '.'
+}

@@ -5,6 +5,7 @@
 package series
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -14,9 +15,12 @@ import (
 
 // Series is a named, uniformly usable sequence of (time, value) samples.
 type Series struct {
+	// Name labels the series in CSV headers and chart titles.
 	Name string
-	T    []float64
-	V    []float64
+	// T holds the sample times in seconds, parallel to V.
+	T []float64
+	// V holds the sample values, parallel to T.
+	V []float64
 }
 
 // New returns an empty series.
@@ -33,40 +37,68 @@ func (s *Series) Add(t, v float64) {
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.V) }
 
-// Stats summarizes a series.
+// Stats summarizes a series. Non-finite samples (NaN readings from faulted
+// sensors) are excluded from every statistic and counted in NaNs.
 type Stats struct {
+	// Min, Max, Mean and Std are the extrema, mean and population standard
+	// deviation of the finite samples.
 	Min, Max, Mean, Std float64
 	// Oscillation counts direction reversals whose amplitude exceeds 5% of
 	// the series range — the "peaks and valleys" metric used to discuss
 	// Figure 10.
 	Oscillations int
+	// NaNs counts the non-finite samples the other statistics excluded.
+	NaNs int
 }
 
-// Summarize computes summary statistics.
+// Summarize computes summary statistics over the finite samples. A nil,
+// empty or all-non-finite series returns a zero Stats (with NaNs counting
+// the excluded samples); a single finite sample yields Min = Max = Mean
+// with zero Std and no oscillations.
 func (s *Series) Summarize() Stats {
-	if len(s.V) == 0 {
-		return Stats{}
+	var st Stats
+	if s == nil || len(s.V) == 0 {
+		return st
 	}
-	st := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	st.Min, st.Max = math.Inf(1), math.Inf(-1)
 	var sum float64
+	n := 0
 	for _, v := range s.V {
+		if !finite(v) {
+			st.NaNs++
+			continue
+		}
 		st.Min = math.Min(st.Min, v)
 		st.Max = math.Max(st.Max, v)
 		sum += v
+		n++
 	}
-	st.Mean = sum / float64(len(s.V))
+	if n == 0 {
+		return Stats{NaNs: st.NaNs}
+	}
+	st.Mean = sum / float64(n)
 	var ss float64
 	for _, v := range s.V {
+		if !finite(v) {
+			continue
+		}
 		d := v - st.Mean
 		ss += d * d
 	}
-	st.Std = math.Sqrt(ss / float64(len(s.V)))
-	// Count significant direction reversals.
+	st.Std = math.Sqrt(ss / float64(n))
+	// Count significant direction reversals over the finite samples.
 	thresh := 0.05 * (st.Max - st.Min)
 	if thresh > 0 {
-		lastExtreme := s.V[0]
+		lastExtreme := math.NaN()
 		dir := 0
-		for _, v := range s.V[1:] {
+		for _, v := range s.V {
+			if !finite(v) {
+				continue
+			}
+			if math.IsNaN(lastExtreme) {
+				lastExtreme = v
+				continue
+			}
 			d := v - lastExtreme
 			switch {
 			case d > thresh:
@@ -91,13 +123,48 @@ func (s *Series) Summarize() Stats {
 	return st
 }
 
-// MeanAbove returns the mean of samples with t >= t0 (for steady-state
-// analysis past an initialization transient).
+// Quantile returns the q-quantile (clamped to [0, 1]) of the series' finite
+// values using linear interpolation between order statistics: q = 0 is the
+// minimum, q = 1 the maximum, q = 0.5 the median. Non-finite samples are
+// ignored. It returns NaN when the series is nil, empty or has no finite
+// sample — never a silent 0.
+func (s *Series) Quantile(q float64) float64 {
+	if s == nil {
+		return math.NaN()
+	}
+	vals := make([]float64, 0, len(s.V))
+	for _, v := range s.V {
+		if finite(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(vals)
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[len(vals)-1]
+	}
+	pos := q * float64(len(vals)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(vals) {
+		return vals[len(vals)-1]
+	}
+	return vals[lo] + frac*(vals[lo+1]-vals[lo])
+}
+
+// MeanAbove returns the mean of finite samples with t >= t0 (for
+// steady-state analysis past an initialization transient). NaN samples from
+// faulted sensors are excluded; 0 when no finite sample qualifies.
 func (s *Series) MeanAbove(t0 float64) float64 {
 	var sum float64
 	var n int
 	for i, t := range s.T {
-		if t >= t0 {
+		if t >= t0 && finite(s.V[i]) {
 			sum += s.V[i]
 			n++
 		}
@@ -108,8 +175,16 @@ func (s *Series) MeanAbove(t0 float64) float64 {
 	return sum / float64(n)
 }
 
-// WriteCSV emits "time,value" rows with a header.
+// ErrNilSeries is returned by WriteCSV when the receiver is nil (a run
+// executed with core.RunOptions.SkipSeries has nil trace series).
+var ErrNilSeries = errors.New("series: cannot export a nil series")
+
+// WriteCSV emits "time,value" rows with a header. A nil receiver returns
+// ErrNilSeries instead of silently writing nothing.
 func (s *Series) WriteCSV(w io.Writer) error {
+	if s == nil {
+		return ErrNilSeries
+	}
 	if _, err := fmt.Fprintf(w, "time_s,%s\n", s.Name); err != nil {
 		return err
 	}
@@ -120,6 +195,9 @@ func (s *Series) WriteCSV(w io.Writer) error {
 	}
 	return nil
 }
+
+// finite reports whether v is a finite number.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // RenderASCII draws the series as a compact ASCII chart of the given width
 // and height, with min/max labels — enough to eyeball the oscillation
@@ -142,6 +220,9 @@ func (s *Series) RenderASCII(width, height int) string {
 		span = 1
 	}
 	for i, t := range s.T {
+		if !finite(s.V[i]) {
+			continue
+		}
 		b := int(float64(width-1) * (t - t0) / span)
 		buckets[b] += s.V[i]
 		counts[b]++
@@ -172,8 +253,10 @@ func (s *Series) RenderASCII(width, height int) string {
 // Table renders a simple aligned text table: the harness uses it to print
 // each figure's bar data as rows.
 type Table struct {
+	// Header holds the column titles.
 	Header []string
-	Rows   [][]string
+	// Rows holds the body cells, one slice per row.
+	Rows [][]string
 }
 
 // AddRow appends a row of cells.

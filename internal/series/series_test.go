@@ -111,3 +111,111 @@ func TestSortedKeys(t *testing.T) {
 		t.Fatalf("keys %v", keys)
 	}
 }
+
+func TestSummarizeSingleSample(t *testing.T) {
+	s := New("one")
+	s.Add(0, 3.5)
+	st := s.Summarize()
+	if st.Min != 3.5 || st.Max != 3.5 || st.Mean != 3.5 || st.Std != 0 || st.Oscillations != 0 {
+		t.Fatalf("single-sample stats %+v", st)
+	}
+}
+
+func TestSummarizeSkipsNaN(t *testing.T) {
+	s := New("faulted")
+	for i, v := range []float64{1, math.NaN(), 3, math.Inf(1), 5} {
+		s.Add(float64(i), v)
+	}
+	st := s.Summarize()
+	if st.NaNs != 2 {
+		t.Fatalf("NaNs = %d, want 2", st.NaNs)
+	}
+	if st.Min != 1 || st.Max != 5 || st.Mean != 3 {
+		t.Fatalf("finite stats wrong: %+v", st)
+	}
+	if math.IsNaN(st.Std) {
+		t.Fatal("Std is NaN")
+	}
+}
+
+func TestSummarizeAllNaN(t *testing.T) {
+	s := New("dead")
+	s.Add(0, math.NaN())
+	s.Add(1, math.NaN())
+	st := s.Summarize()
+	if st.NaNs != 2 || st.Min != 0 || st.Max != 0 || st.Mean != 0 {
+		t.Fatalf("all-NaN stats %+v", st)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := New("q")
+	for i, v := range []float64{4, 1, math.NaN(), 3, 2} {
+		s.Add(float64(i), v)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %g, want 1", got)
+	}
+	if got := s.Quantile(1); got != 4 {
+		t.Fatalf("q1 = %g, want 4", got)
+	}
+	if got := s.Quantile(0.5); got != 2.5 {
+		t.Fatalf("median = %g, want 2.5 (interpolated over 1,2,3,4)", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilSeries *Series
+	if got := nilSeries.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("nil series quantile = %g, want NaN", got)
+	}
+	if got := New("e").Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty series quantile = %g, want NaN", got)
+	}
+	s := New("nan")
+	s.Add(0, math.NaN())
+	if got := s.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("all-NaN quantile = %g, want NaN", got)
+	}
+	one := New("one")
+	one.Add(0, 7)
+	if got := one.Quantile(0.5); got != 7 {
+		t.Fatalf("single-sample quantile = %g, want 7", got)
+	}
+}
+
+func TestMeanAboveSkipsNaN(t *testing.T) {
+	s := New("m")
+	s.Add(0, 10)
+	s.Add(1, math.NaN())
+	s.Add(2, 4)
+	if got := s.MeanAbove(1); got != 4 {
+		t.Fatalf("MeanAbove = %g, want 4", got)
+	}
+}
+
+func TestWriteCSVNil(t *testing.T) {
+	var s *Series
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != ErrNilSeries {
+		t.Fatalf("nil WriteCSV error = %v, want ErrNilSeries", err)
+	}
+}
+
+func TestRenderASCIISkipsNaN(t *testing.T) {
+	s := New("gap")
+	for i := 0; i < 40; i++ {
+		v := math.Sin(float64(i) / 5)
+		if i%7 == 0 {
+			v = math.NaN()
+		}
+		s.Add(float64(i), v)
+	}
+	out := s.RenderASCII(40, 8)
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("render leaked NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("chart has no points:\n%s", out)
+	}
+}

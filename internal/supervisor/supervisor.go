@@ -479,6 +479,64 @@ func (s Stats) MeanRecoverySteps() float64 {
 	return float64(s.RecoveryLatencySteps) / float64(s.Recoveries)
 }
 
+// Probe is the monitor's point-in-time detector view for the flight
+// recorder (DESIGN.md §8): the live pressure of every soft detector against
+// its trip threshold. State and the one-shot transfer flags are filled by
+// the wrapper (which knows the state the recorded interval actually ran
+// under and the action it produced); the counts come from Monitor.Probe.
+type Probe struct {
+	// State is the supervisory state the recorded interval ran under.
+	State State
+	// Tripped reports that the interval confirmed a trip.
+	Tripped bool
+	// Cause is the confirmed trip's cause when Tripped is set.
+	Cause Cause
+	// Reengage reports that quarantine completed this interval.
+	Reengage bool
+	// BlockRaise reports that the no-raise clamp is armed for the next
+	// interval.
+	BlockRaise bool
+	// SuspectStreak is the current consecutive-soft-condition streak
+	// (confirms a trip at Config.ConfirmSteps).
+	SuspectStreak int
+	// RailStreak is the current consecutive rail-pinned streak (trips at
+	// Config.RailSteps).
+	RailStreak int
+	// ChatterCount is the worst channel's reversal count in the chatter
+	// window (trips at Config.ChatterReversals).
+	ChatterCount int
+	// DropoutCount is the no-fresh-data interval count in the dropout
+	// window (trips at Config.DropoutTrip).
+	DropoutCount int
+	// MismatchCount is the actuator write-verification failure count in the
+	// mismatch window (trips at Config.MismatchTrip).
+	MismatchCount int
+	// ThrottleCount is the suspicious-throttle interval count in the
+	// throttle window (trips at Config.ThrottleTrip).
+	ThrottleCount int
+	// CostRatio is the short-window cost EMA over the long-window baseline
+	// (trips at Config.DivergenceFactor); 0 until the baseline has formed.
+	CostRatio float64
+}
+
+// Probe returns the detector pressures after the latest Observe. The State
+// and transfer-flag fields are zero — the wrapper overlays them from the
+// interval it recorded.
+func (m *Monitor) Probe() Probe {
+	p := Probe{
+		SuspectStreak: m.suspectStreak,
+		RailStreak:    m.railStreak,
+		ChatterCount:  m.chatterCount(),
+		DropoutCount:  m.heldCount(),
+		MismatchCount: m.mismatchCount(),
+		ThrottleCount: m.throttleCount(),
+	}
+	if m.emaN >= m.cfg.BaselineWindow && m.baseEMA > 0 {
+		p.CostRatio = m.shortEMA / m.baseEMA
+	}
+	return p
+}
+
 // Monitor is the per-session supervisory state machine. It is not safe for
 // concurrent use; like a controller runtime, one Monitor belongs to exactly
 // one run.

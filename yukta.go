@@ -31,8 +31,12 @@
 package yukta
 
 import (
+	"io"
+
 	"yukta/internal/board"
 	"yukta/internal/core"
+	"yukta/internal/fault"
+	"yukta/internal/obs"
 	"yukta/internal/robust"
 	"yukta/internal/workload"
 )
@@ -67,7 +71,32 @@ type (
 	// FixedTargetSession runs the SSV layers with constant output targets
 	// (the §VI-E1 experiments).
 	FixedTargetSession = core.FixedTargetSession
+	// FlightRecorder is the per-run control-loop decision log; attach one
+	// via RunOptions.Trace and export with WriteJSONL/WriteCSV/Timeline.
+	FlightRecorder = obs.Recorder
+	// MetricsRegistry aggregates counters, gauges and latency histograms
+	// across runs; attach one via RunOptions.Metrics.
+	MetricsRegistry = obs.Registry
+	// FaultPlan is a deterministic fault-injection campaign; attach one via
+	// RunOptions.Faults.
+	FaultPlan = fault.Plan
 )
+
+// NewFlightRecorder returns a flight recorder holding the last capacity
+// control intervals (obs.DefaultCapacity when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewRecorder(capacity) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// FaultPreset returns the paper-reproduction fault campaign at the given
+// intensity (1.0 = the harness's harshest default grid point), seeded so
+// identical runs see identical fault sequences.
+func FaultPreset(seed int64, intensity float64) FaultPlan { return fault.Preset(seed, intensity) }
+
+// ValidateTrace checks a JSONL flight-recorder stream against the record
+// schema and returns the number of valid records.
+func ValidateTrace(r io.Reader) (int, error) { return obs.ValidateJSONL(r) }
 
 // DefaultBoardConfig returns the ODROID XU3 calibration (§IV).
 func DefaultBoardConfig() BoardConfig { return board.DefaultConfig() }
