@@ -14,6 +14,9 @@
 //	yukta-bench -faults -supervise # add the supervised SSV scheme + per-class supervised table
 //	yukta-bench -faults -quick -supervise -trace traces/ -metrics
 //	yukta-bench -faults -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+//	yukta-bench -fleet 16             # 16 boards under a shared budget, both policies
+//	yukta-bench -fleet 8 -faults -trace traces/ # fleet sweep across fault classes, with traces
+//	yukta-bench -fleet 4 -fleetpolicy feedback -fleetbudget 2.0
 //	yukta-bench -tracecheck traces/ # validate recorded JSONL against the schema
 package main
 
@@ -49,6 +52,9 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		traceChk  = flag.String("tracecheck", "", "validate every .jsonl flight-recorder trace in this directory against the record schema, then exit")
+		fleetN    = flag.Int("fleet", 0, "run the fleet sweep with this many boards under a shared power budget (0 = off); with -faults the sweep also covers the fault classes")
+		fleetPol  = flag.String("fleetpolicy", "all", "fleet budget policy: equal, feedback or all")
+		fleetBW   = flag.Float64("fleetbudget", exp.DefaultFleetBoardBudgetW, "per-board share of the shared fleet power budget, in watts")
 	)
 	flag.Parse()
 
@@ -111,7 +117,7 @@ func main() {
 		}
 		return
 	}
-	if *fig == "" && !*all && !*faults {
+	if *fig == "" && !*all && !*faults && *fleetN == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -123,11 +129,12 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "building platform (identification + model fitting + controller synthesis)...")
 	ctx, err := exp.NewContextWithOptions(exp.Options{
-		Parallelism: *parallel,
-		Seed:        *faultSeed,
-		Supervise:   *supervise,
-		TraceDir:    *traceDir,
-		Metrics:     *metrics,
+		Parallelism:  *parallel,
+		Seed:         *faultSeed,
+		Supervise:    *supervise,
+		TraceDir:     *traceDir,
+		Metrics:      *metrics,
+		FleetBudgetW: *fleetBW,
 	})
 	if err != nil {
 		fatal(err)
@@ -135,6 +142,23 @@ func main() {
 	if ctx.Metrics != nil {
 		ctx.Metrics.Publish("yukta")
 		defer func() { fmt.Fprint(os.Stderr, ctx.Metrics.Render()) }()
+	}
+
+	if *fleetN > 0 {
+		policies := []string{"equal", "feedback"}
+		if *fleetPol != "all" {
+			policies = []string{*fleetPol}
+		}
+		classes := []string{"clean"}
+		if *faults {
+			classes = append(classes, "dropout", "actuator", "thermal")
+		}
+		ft, err := ctx.FleetSweep([]int{*fleetN}, policies, classes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(ft.Render())
+		return
 	}
 
 	if *faults {
@@ -301,7 +325,9 @@ func dumpCSV(dir, prefix string, tr *exp.TraceSet) {
 }
 
 // checkTraces validates every .jsonl file in dir against the flight-recorder
-// schema and reports per-file record counts.
+// schemas and reports per-file record counts. Files named *.fleet.jsonl are
+// coordination-layer traces and validate against the fleet schema; everything
+// else validates against the per-run record schema.
 func checkTraces(dir string) error {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
 	if err != nil {
@@ -315,7 +341,11 @@ func checkTraces(dir string) error {
 		if err != nil {
 			return err
 		}
-		n, verr := obs.ValidateJSONL(f)
+		validate := obs.ValidateJSONL
+		if strings.HasSuffix(path, ".fleet.jsonl") {
+			validate = obs.ValidateFleetJSONL
+		}
+		n, verr := validate(f)
 		cerr := f.Close()
 		if verr != nil {
 			return fmt.Errorf("%s: %w", path, verr)

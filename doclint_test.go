@@ -24,6 +24,8 @@ var doclintPackages = []string{
 	"internal/supervisor",
 	"internal/obs",
 	"internal/series",
+	"internal/fleet",
+	"internal/pool",
 }
 
 // TestExportedIdentifiersDocumented fails on any exported identifier —

@@ -62,6 +62,17 @@ type Sensors struct {
 
 	// EmergencyEvents counts firmware emergency activations so far.
 	EmergencyEvents int
+
+	// PowerCapW is the board power budget currently imposed by the fleet
+	// layer (0 = uncapped). It is part of the sensor vocabulary so fleet
+	// budget policies and per-board controllers read the same view.
+	PowerCapW float64
+
+	// BudgetThrottled reports whether the budget governor is holding the
+	// big-cluster frequency ceiling below maximum to enforce PowerCapW.
+	// Distinct from Throttled: budget capping is an expected, externally
+	// imposed constraint, not a firmware emergency.
+	BudgetThrottled bool
 }
 
 // SensorTap intercepts the sensor view a controller receives at the end of
@@ -128,7 +139,8 @@ type Board struct {
 	// the requested one (see ActuatorMismatches).
 	actMismatches int
 
-	tmu tmu
+	tmu    tmu
+	budget budget
 }
 
 // New returns a board in its power-on state: all cores online at maximum
@@ -151,6 +163,7 @@ func New(cfg Config) *Board {
 		b.noise = rand.New(rand.NewSource(cfg.SensorNoiseSeed + 1))
 	}
 	b.tmu = newTMU(cfg)
+	b.budget = newBudget(cfg)
 	return b
 }
 
@@ -303,8 +316,11 @@ func (b *Board) BigFreq() float64 { return b.bigFreq }
 // LittleFreq returns the requested little-cluster frequency (GHz).
 func (b *Board) LittleFreq() float64 { return b.littleFreq }
 
-// EffectiveBigFreq returns the frequency after firmware throttle caps.
-func (b *Board) EffectiveBigFreq() float64 { return math.Min(b.bigFreq, b.tmu.bigCap) }
+// EffectiveBigFreq returns the frequency after firmware throttle caps and
+// the fleet budget-governor ceiling (the minimum of all three authorities).
+func (b *Board) EffectiveBigFreq() float64 {
+	return math.Min(math.Min(b.bigFreq, b.tmu.bigCap), b.budget.capGHz)
+}
 
 // EffectiveLittleFreq returns the little frequency after firmware caps.
 func (b *Board) EffectiveLittleFreq() float64 { return math.Min(b.littleFreq, b.tmu.littleCap) }
@@ -485,6 +501,9 @@ func (b *Board) Run(w workload.Workload, dt time.Duration) Sensors {
 
 		// Firmware emergency management sees instantaneous physics.
 		b.tmu.step(b, big.powerW, little.powerW, stepS)
+		// The budget governor enforces the board-level power cap on the
+		// total draw, after (and never overriding) the emergency paths.
+		b.budget.step(b, pTotal, stepS)
 	}
 	b.instTotal += instT
 	b.instBig += instB
@@ -506,6 +525,8 @@ func (b *Board) Run(w workload.Workload, dt time.Duration) Sensors {
 		Throttled:        b.tmu.engagedBig || b.tmu.engagedLittle || b.tmu.engagedTemp,
 		ThermalThrottled: b.tmu.engagedTemp,
 		EmergencyEvents:  b.tmu.events,
+		PowerCapW:        b.budget.capW,
+		BudgetThrottled:  b.budget.engaged,
 	}
 	if b.sensorTap != nil {
 		s = b.sensorTap.TapSensors(s)

@@ -1,0 +1,132 @@
+package board
+
+import "math"
+
+// budget models an externally imposed board-level power cap, the actuation
+// surface the fleet coordination layer drives. It mirrors the RAPL-style
+// capping firmware of server parts: when total board power sustains above
+// the cap, the governor steps a frequency ceiling on the big cluster down
+// (two DVFS levels per step period, the TMU's fast-attack idiom); once power
+// has stayed under the cap with hysteresis for a release delay, the ceiling
+// is raised back one level at a time. The governor owns its own ceiling —
+// the effective big-cluster frequency is the minimum of the controller's
+// command, the TMU cap and the budget ceiling — so fleet capping composes
+// with, and never fights, the firmware emergency heuristics.
+type budget struct {
+	cfg Config
+
+	capW   float64 // 0 = uncapped
+	capGHz float64 // current big-cluster ceiling (GHz)
+
+	overS, underS float64 // sustained violation / safe timers
+	sinceStepS    float64
+
+	engaged bool
+	events  int
+}
+
+func newBudget(cfg Config) budget {
+	return budget{cfg: cfg, capGHz: cfg.Big.FreqMaxGHz}
+}
+
+// hold, stepPeriod, releaseDelay and hysteresis fall back to the firmware
+// emergency parameters when the dedicated budget knobs are unset, so a
+// hand-built Config with a power cap still gets sane dynamics.
+func (g *budget) hold() float64 {
+	if g.cfg.BudgetHold > 0 {
+		return g.cfg.BudgetHold.Seconds()
+	}
+	return g.cfg.EmergencyHold.Seconds()
+}
+
+func (g *budget) stepPeriod() float64 {
+	if g.cfg.BudgetStepPeriod > 0 {
+		return g.cfg.BudgetStepPeriod.Seconds()
+	}
+	return g.cfg.EmergencyStepPeriod.Seconds()
+}
+
+func (g *budget) releaseDelay() float64 {
+	if g.cfg.BudgetReleaseDelay > 0 {
+		return g.cfg.BudgetReleaseDelay.Seconds()
+	}
+	return g.cfg.EmergencyReleaseDelay.Seconds()
+}
+
+func (g *budget) hysteresis() float64 {
+	if g.cfg.BudgetHysteresisPct > 0 {
+		return g.cfg.BudgetHysteresisPct
+	}
+	return g.cfg.EmergencyHysteresisPct
+}
+
+// setCap installs a new power cap in watts. A non-positive cap disables the
+// governor and releases the ceiling immediately (the board is its own master
+// again); raising or lowering an active cap keeps the ceiling where it is
+// and lets the normal attack/release dynamics walk it to the new operating
+// point, so a fleet reallocation never snaps a board's frequency.
+func (g *budget) setCap(w float64) {
+	if w <= 0 {
+		g.capW = 0
+		g.capGHz = g.cfg.Big.FreqMaxGHz
+		g.overS, g.underS, g.sinceStepS = 0, 0, 0
+		g.engaged = false
+		return
+	}
+	g.capW = w
+}
+
+// step advances the governor by dt seconds given the instantaneous total
+// board power (big + little + base).
+func (g *budget) step(b *Board, totalW, dt float64) {
+	if g.capW <= 0 {
+		return
+	}
+	g.sinceStepS += dt
+	if totalW > g.capW {
+		g.overS += dt
+		g.underS = 0
+	} else {
+		g.underS += dt
+		g.overS = 0
+	}
+	if g.sinceStepS < g.stepPeriod() {
+		return
+	}
+	g.sinceStepS = 0
+	switch {
+	case g.overS >= g.hold():
+		if !g.engaged {
+			g.engaged = true
+			g.events++
+		}
+		g.capGHz = math.Max(g.cfg.Big.FreqMinGHz,
+			math.Min(g.capGHz, b.EffectiveBigFreq())-2*g.cfg.Big.FreqStepGHz)
+	case g.engaged && g.underS >= g.releaseDelay() && totalW < g.capW*(1-g.hysteresis()):
+		g.capGHz += g.cfg.Big.FreqStepGHz
+		if g.capGHz >= g.cfg.Big.FreqMaxGHz {
+			g.capGHz = g.cfg.Big.FreqMaxGHz
+			g.engaged = false
+		}
+	}
+}
+
+// SetPowerCapW imposes a board-level power budget in watts on the total
+// board draw (big + little + base). The budget governor enforces it by
+// stepping a frequency ceiling on the big cluster (see EffectiveBigFreq); a
+// non-positive value removes the cap and releases the ceiling. This is the
+// only actuator the fleet coordination layer touches — each board's own
+// two-layer controller stack keeps full authority underneath the cap,
+// exactly as the paper's OS layer constrains its HW layer.
+func (b *Board) SetPowerCapW(w float64) { b.budget.setCap(w) }
+
+// PowerCapW returns the current board power budget in watts (0 = uncapped).
+func (b *Board) PowerCapW() float64 { return b.budget.capW }
+
+// BudgetThrottled reports whether the budget governor is currently holding
+// the big-cluster frequency ceiling below maximum to enforce the power cap.
+func (b *Board) BudgetThrottled() bool { return b.budget.engaged }
+
+// BudgetEvents counts budget-governor engagements so far (rising edges of
+// BudgetThrottled).
+func (b *Board) BudgetEvents() int { return b.budget.events }

@@ -1,0 +1,83 @@
+package board
+
+import (
+	"testing"
+	"time"
+)
+
+// runIntervals advances the board through n 500 ms control intervals at full
+// big-cluster tilt and returns the last total sensed power.
+func runIntervals(b *Board, t *testing.T, n int) Sensors {
+	t.Helper()
+	w := steadyApp(t, 0.05)
+	allBig(b)
+	var s Sensors
+	for i := 0; i < n; i++ {
+		s = b.Run(w, 500*time.Millisecond)
+	}
+	return s
+}
+
+func TestBudgetGovernorEnforcesCap(t *testing.T) {
+	cfg := DefaultConfig()
+	b := New(cfg)
+	const capW = 2.0
+	b.SetPowerCapW(capW)
+	if got := b.PowerCapW(); got != capW {
+		t.Fatalf("PowerCapW = %v, want %v", got, capW)
+	}
+	s := runIntervals(b, t, 60)
+	if !b.BudgetThrottled() {
+		t.Fatal("budget governor never engaged under a 2 W cap at full tilt")
+	}
+	if !s.BudgetThrottled || s.PowerCapW != capW {
+		t.Fatalf("sensors do not reflect the cap: %+v", s)
+	}
+	if b.BudgetEvents() == 0 {
+		t.Fatal("BudgetEvents = 0 after engagement")
+	}
+	total := s.BigPowerW + s.LittlePowerW + cfg.BasePowerW
+	if total > capW*1.15 {
+		t.Fatalf("sustained power %.2f W far above the %.1f W cap", total, capW)
+	}
+	if f := b.EffectiveBigFreq(); f >= cfg.Big.FreqMaxGHz {
+		t.Fatalf("effective big frequency %.2f GHz not reduced", f)
+	}
+}
+
+func TestBudgetGovernorReleasesOnUncap(t *testing.T) {
+	b := New(DefaultConfig())
+	b.SetPowerCapW(2.0)
+	runIntervals(b, t, 60)
+	if !b.BudgetThrottled() {
+		t.Fatal("governor should be engaged before the release check")
+	}
+	b.SetPowerCapW(0)
+	if b.BudgetThrottled() {
+		t.Fatal("removing the cap must release the governor immediately")
+	}
+	if got := b.PowerCapW(); got != 0 {
+		t.Fatalf("PowerCapW = %v after uncap, want 0", got)
+	}
+	if f := b.EffectiveBigFreq(); f != b.Config().Big.FreqMaxGHz {
+		t.Fatalf("effective big frequency %.2f GHz, want ceiling released", f)
+	}
+}
+
+func TestBudgetGovernorComposesWithTMU(t *testing.T) {
+	// The budget ceiling must never override a firmware emergency cap: the
+	// effective frequency is the minimum of the two authorities.
+	b := New(DefaultConfig())
+	b.SetPowerCapW(6.0) // generous cap: budget alone would not throttle
+	b.ForceEmergencyThrottle(8 * time.Second)
+	s := runIntervals(b, t, 30)
+	if !s.Throttled {
+		t.Fatal("forced emergency throttle did not engage")
+	}
+	if f := b.EffectiveBigFreq(); f >= b.Config().Big.FreqMaxGHz {
+		t.Fatalf("effective frequency %.2f GHz should carry the TMU cap", f)
+	}
+	if b.BudgetThrottled() {
+		t.Fatal("budget governor engaged under a generous cap; TMU should act alone")
+	}
+}

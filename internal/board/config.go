@@ -81,6 +81,21 @@ type Config struct {
 	EmergencyReleaseDelay  time.Duration // below-threshold time before release
 	EmergencyHysteresisPct float64       // release hysteresis fraction
 
+	// Budget-governor dynamics for the fleet power cap (SetPowerCapW). The
+	// cap is enforced on total board power with the same shape as the
+	// firmware emergency heuristics: a sustained violation of BudgetHold
+	// engages a big-cluster frequency ceiling stepped down every
+	// BudgetStepPeriod, released one step at a time after the power has
+	// stayed BudgetHysteresisPct under the cap for BudgetReleaseDelay. A
+	// zero value for any knob falls back to the corresponding Emergency*
+	// parameter. The budget hold is shorter than the emergency hold by
+	// default: a budget overshoot is an efficiency matter, not a safety
+	// one, and a fleet reallocation should bite within a control interval.
+	BudgetHold          time.Duration // sustained-over-cap time before the governor engages
+	BudgetStepPeriod    time.Duration // per-step ceiling walk cadence while engaged
+	BudgetReleaseDelay  time.Duration // under-cap time before releasing one step
+	BudgetHysteresisPct float64       // release hysteresis fraction below the cap
+
 	// MigrationPenalty is the execution stall charged per migrated thread.
 	MigrationPenalty time.Duration
 
@@ -159,6 +174,10 @@ func DefaultConfig() Config {
 		EmergencyStepPeriod:    200 * time.Millisecond,
 		EmergencyReleaseDelay:  2 * time.Second,
 		EmergencyHysteresisPct: 0.10,
+		BudgetHold:             400 * time.Millisecond,
+		BudgetStepPeriod:       200 * time.Millisecond,
+		BudgetReleaseDelay:     1 * time.Second,
+		BudgetHysteresisPct:    0.05,
 		MigrationPenalty:       20 * time.Millisecond,
 		MemContentionPerCore:   0.05,
 		MuxEfficiency:          0.90,

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"yukta/internal/board"
+	"yukta/internal/fault"
+	"yukta/internal/fleet"
+	"yukta/internal/obs"
+	"yukta/internal/pool"
+	"yukta/internal/workload"
+)
+
+// FleetMember is one board's assignment in a fleet run: the control scheme
+// it runs and the workload it executes. The scheme is used unchanged — the
+// fleet layer never reaches into a board's controllers; it only sets the
+// board's power cap.
+type FleetMember struct {
+	// Scheme is the per-board control scheme (any solo scheme works,
+	// including the supervised wrapper).
+	Scheme Scheme
+	// Workload is the board's workload. Each member needs its own instance
+	// (clone mixes before sharing them across members).
+	Workload workload.Workload
+}
+
+// FleetOptions bounds a fleet run.
+type FleetOptions struct {
+	// Budget is the shared fleet power budget and per-board bounds. FleetRun
+	// validates feasibility: TotalW must cover MinW for every board.
+	Budget fleet.Budget
+	// Policy divides the budget across boards at reallocation points. It is
+	// invoked from the coordination goroutine only, so stateful policies
+	// need no locking. Required.
+	Policy fleet.Policy
+	// ReallocEvery is the reallocation period in control intervals (the
+	// fleet layer runs slower than the per-board layers, as the OS layer
+	// runs slower than the HW layer in the paper). Default 10 (5 s at the
+	// default interval).
+	ReallocEvery int
+	// MaxTime aborts boards that fail to complete. Default 1200 s.
+	MaxTime time.Duration
+	// Interval is the per-board control interval. Default 500 ms.
+	Interval time.Duration
+	// Faults, when enabled, injects each board's own fault stream, derived
+	// from (Seed, scheme, app, board index) — board 0's stream is identical
+	// to the solo run of the same (scheme, app) for common-random-numbers
+	// pairing, and every other board draws an independent stream.
+	Faults fault.Plan
+	// Parallelism is the worker count for per-interval board stepping (the
+	// PR-1 pool, fanned out inside each lockstep interval). 0 or 1 steps
+	// boards sequentially. Results and traces are byte-identical at any
+	// setting.
+	Parallelism int
+	// Trace, when non-nil, receives one obs.FleetRecord per control
+	// interval from the coordination layer.
+	Trace *obs.FleetRecorder
+	// BoardTraces, when non-nil, must have one entry per member; non-nil
+	// entries receive that board's per-interval obs.Records, exactly as a
+	// solo run's RunOptions.Trace would.
+	BoardTraces []*obs.Recorder
+	// Metrics, when non-nil, aggregates the run into the registry (pool
+	// occupancy, per-scheme step latency, run/fault counters).
+	Metrics *obs.Registry
+}
+
+// FleetBoardResult is one board's outcome within a fleet run.
+type FleetBoardResult struct {
+	// Board is the member index.
+	Board int
+	// App and Scheme identify the member's workload and control scheme.
+	App, Scheme string
+	// TimeS is the board's completion time in seconds (or the abort time
+	// when Completed is false); EnergyJ its energy; ExD their product.
+	TimeS   float64
+	EnergyJ float64
+	ExD     float64
+	// Completed reports whether the workload finished within MaxTime.
+	Completed bool
+	// BudgetEvents counts the board's budget-governor engagements.
+	BudgetEvents int
+	// Faults counts the faults injected into this board's run.
+	Faults fault.Stats
+}
+
+// FleetResult records one fleet run.
+type FleetResult struct {
+	// Policy names the budget policy that ran.
+	Policy string
+	// BudgetW is the fleet power budget in watts.
+	BudgetW float64
+	// Boards holds the per-board outcomes, in member order.
+	Boards []FleetBoardResult
+
+	// MakespanS is the fleet completion time (the slowest board), in
+	// seconds; EnergyJ the total energy across boards; EDP their product —
+	// the fleet-level analogue of the per-run E×D objective.
+	MakespanS float64
+	EnergyJ   float64
+	EDP       float64
+	// GeoExD is the geometric mean of the per-board E×D products (the
+	// cross-board analogue of the sweeps' geometric-mean degradation).
+	GeoExD float64
+
+	// Reallocations counts policy invocations; Steps counts lockstep
+	// control intervals executed.
+	Reallocations int
+	Steps         int
+}
+
+// fleetBoard is the per-board runtime state of a fleet run. Workers touch
+// only their own index during an interval, so the struct needs no locking.
+type fleetBoard struct {
+	b    *board.Board
+	sess Session
+	w    workload.Workload
+	inj  *fault.Injector
+
+	sens board.Sensors
+	done bool
+
+	// Per-board observation state (mirrors the solo runner's).
+	hp         healthProbe
+	fp         flightProber
+	prevFaults fault.Stats
+	lat        *obs.Histogram
+}
+
+// FleetRun simulates len(members) boards advancing in lockstep under the
+// shared power budget: every ReallocEvery intervals the policy re-divides
+// the budget and each board's cap is actuated via board.SetPowerCapW; every
+// interval the boards step concurrently on the worker pool, each running its
+// own scheme unchanged. The run ends when every workload completes or
+// MaxTime elapses.
+//
+// Determinism contract: results, per-board traces and the fleet trace are
+// byte-identical at any Parallelism — boards own disjoint state, workers
+// write only their own index, and the policy runs on the coordination
+// goroutine between interval barriers.
+func FleetRun(cfg board.Config, members []FleetMember, opt FleetOptions) (*FleetResult, error) {
+	n := len(members)
+	if n == 0 {
+		return nil, fmt.Errorf("core: fleet run needs at least one member")
+	}
+	if opt.Policy == nil {
+		return nil, fmt.Errorf("core: fleet run needs a budget policy")
+	}
+	bud := opt.Budget
+	if bud.TotalW <= 0 || bud.MinW <= 0 || bud.MaxW < bud.MinW {
+		return nil, fmt.Errorf("core: invalid fleet budget %+v", bud)
+	}
+	if bud.TotalW < bud.MinW*float64(n) {
+		return nil, fmt.Errorf("core: fleet budget %.1f W cannot cover the %.1f W floor for %d boards",
+			bud.TotalW, bud.MinW, n)
+	}
+	if opt.ReallocEvery <= 0 {
+		opt.ReallocEvery = 10
+	}
+	if opt.MaxTime <= 0 {
+		opt.MaxTime = 1200 * time.Second
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = 500 * time.Millisecond
+	}
+	if opt.BoardTraces != nil && len(opt.BoardTraces) != n {
+		return nil, fmt.Errorf("core: BoardTraces has %d entries for %d members", len(opt.BoardTraces), n)
+	}
+
+	boards := make([]*fleetBoard, n)
+	for i, m := range members {
+		sess, err := m.Scheme.New()
+		if err != nil {
+			return nil, fmt.Errorf("core: building scheme %q for board %d: %w", m.Scheme.Name, i, err)
+		}
+		fb := &fleetBoard{sess: sess, w: m.Workload}
+		if opt.Faults.Enabled() {
+			runKey := fault.RunKey(m.Scheme.faultKey(), m.Workload.Name(), i)
+			fb.inj = opt.Faults.NewInjector(runKey)
+			fb.w = opt.Faults.Disturb(fb.w, runKey)
+		}
+		fb.w.Reset()
+		fb.b = board.New(cfg)
+		if fb.inj != nil {
+			fb.b.AttachSensorTap(fb.inj)
+			fb.b.AttachActuatorTap(fb.inj)
+		}
+		if opt.BoardTraces != nil && opt.BoardTraces[i] != nil {
+			fb.hp, _ = sess.(healthProbe)
+			fb.fp, _ = sess.(flightProber)
+		}
+		if opt.Metrics != nil {
+			fb.lat = opt.Metrics.Histogram("step_latency_us/"+m.Scheme.Name, obs.LatencyBucketsUS())
+		}
+		boards[i] = fb
+	}
+
+	caps := make([]float64, n)
+	tel := make([]fleet.Telemetry, n)
+	res := &FleetResult{
+		Policy:  opt.Policy.Name(),
+		BudgetW: bud.TotalW,
+		Boards:  make([]FleetBoardResult, n),
+	}
+	workers := opt.Parallelism
+	maxSteps := int(opt.MaxTime / opt.Interval)
+	intervalS := opt.Interval.Seconds()
+
+	for step := 0; step < maxSteps; step++ {
+		allDone := true
+		for _, fb := range boards {
+			if !fb.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+
+		realloc := step%opt.ReallocEvery == 0
+		if realloc {
+			for i, fb := range boards {
+				tel[i] = fleetTelemetry(fb, caps[i], cfg.BasePowerW)
+			}
+			opt.Policy.Allocate(caps, bud, tel)
+			for i, fb := range boards {
+				if fb.done {
+					fb.b.SetPowerCapW(0)
+					caps[i] = 0
+					continue
+				}
+				fb.b.SetPowerCapW(caps[i])
+			}
+			res.Reallocations++
+		}
+
+		err := pool.ForEachMetered(workers, n, opt.Metrics, func(i int) error {
+			fb := boards[i]
+			if fb.done {
+				return nil
+			}
+			if fb.inj != nil {
+				fb.inj.Advance(fb.b)
+			}
+			fb.sens = fb.b.Run(fb.w, opt.Interval)
+			var t0 time.Time
+			observe := fb.lat != nil || (opt.BoardTraces != nil && opt.BoardTraces[i] != nil)
+			if observe {
+				t0 = time.Now()
+			}
+			fb.sess.Step(fb.sens, fb.b, fb.w.Profile().Threads)
+			if observe {
+				latNS := time.Since(t0).Nanoseconds()
+				if fb.lat != nil {
+					fb.lat.Observe(float64(latNS) / 1e3)
+				}
+				if opt.BoardTraces != nil && opt.BoardTraces[i] != nil {
+					recordInterval(opt.BoardTraces[i], step, fb.sens, fb.b,
+						fb.inj, &fb.prevFaults, fb.hp, fb.fp, latNS)
+				}
+			}
+			if fb.w.Done() {
+				fb.done = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Steps++
+
+		if opt.Trace != nil {
+			opt.Trace.Add(fleetRecord(step, float64(step+1)*intervalS, bud, caps, boards, realloc, cfg.BasePowerW))
+		}
+	}
+
+	res.GeoExD = 1
+	for i, fb := range boards {
+		r := &res.Boards[i]
+		r.Board = i
+		r.App = members[i].Workload.Name()
+		r.Scheme = members[i].Scheme.Name
+		r.TimeS = fb.b.TimeS()
+		r.EnergyJ = fb.b.EnergyJ()
+		r.ExD = r.EnergyJ * r.TimeS
+		r.Completed = fb.done
+		r.BudgetEvents = fb.b.BudgetEvents()
+		if fb.inj != nil {
+			r.Faults = fb.inj.Stats()
+		}
+		res.EnergyJ += r.EnergyJ
+		if r.TimeS > res.MakespanS {
+			res.MakespanS = r.TimeS
+		}
+		res.GeoExD *= math.Pow(r.ExD, 1/float64(n))
+	}
+	res.EDP = res.EnergyJ * res.MakespanS
+	if opt.Metrics != nil {
+		m := opt.Metrics
+		m.Counter("fleet_runs_total").Add(1)
+		m.Counter("fleet_board_runs_total").Add(int64(n))
+		m.Counter("fleet_reallocations_total").Add(int64(res.Reallocations))
+	}
+	return res, nil
+}
+
+// fleetTelemetry distills one board's state into the policy's view. Sensor
+// readings can be non-finite under fault injection (dropped power readings);
+// the coordination layer substitutes the board's full cap for an unreadable
+// draw — the conservative choice that never trims a board on garbage data —
+// so policies may assume finite telemetry.
+func fleetTelemetry(fb *fleetBoard, capW, baseW float64) fleet.Telemetry {
+	power := fb.sens.BigPowerW + fb.sens.LittlePowerW + baseW
+	if math.IsNaN(power) || math.IsInf(power, 0) {
+		power = capW
+	}
+	bips := fb.sens.BIPS
+	if math.IsNaN(bips) || math.IsInf(bips, 0) {
+		bips = 0
+	}
+	return fleet.Telemetry{
+		PowerW:    power,
+		BIPS:      bips,
+		CapW:      capW,
+		Throttled: fb.b.BudgetThrottled(),
+		Done:      fb.done,
+	}
+}
+
+// fleetRecord aggregates one lockstep interval into the fleet trace record.
+func fleetRecord(step int, timeS float64, bud fleet.Budget, caps []float64,
+	boards []*fleetBoard, realloc bool, baseW float64) obs.FleetRecord {
+
+	rec := obs.FleetRecord{
+		Step:    step,
+		TimeS:   timeS,
+		BudgetW: bud.TotalW,
+		Realloc: realloc,
+	}
+	for i, fb := range boards {
+		rec.AllocW += caps[i]
+		if fb.done {
+			rec.Done++
+			continue
+		}
+		rec.Live++
+		if caps[i] > 0 {
+			if rec.CapMinW == 0 || caps[i] < rec.CapMinW {
+				rec.CapMinW = caps[i]
+			}
+			if caps[i] > rec.CapMaxW {
+				rec.CapMaxW = caps[i]
+			}
+		}
+		if fb.b.BudgetThrottled() {
+			rec.Throttled++
+		}
+		p := fb.sens.BigPowerW + fb.sens.LittlePowerW + baseW
+		if !math.IsNaN(p) && !math.IsInf(p, 0) {
+			rec.PowerW += p
+		}
+		b := fb.sens.BIPS
+		if !math.IsNaN(b) && !math.IsInf(b, 0) {
+			rec.BIPS += b
+		}
+	}
+	return rec
+}

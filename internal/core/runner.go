@@ -198,6 +198,8 @@ func recordInterval(tr *obs.Recorder, step int, s board.Sensors, b *board.Board,
 		BIPSLittle:       s.BIPSLittle,
 		Throttled:        s.Throttled,
 		ThermalThrottled: s.ThermalThrottled,
+		PowerCapW:        s.PowerCapW,
+		BudgetThrottled:  s.BudgetThrottled,
 		CmdBigCores:      act.BigCores,
 		CmdLittleCores:   act.LittleCores,
 		CmdBigGHz:        act.BigFreqGHz,

@@ -44,6 +44,10 @@ type Context struct {
 	// and the worker pool, or nil when metrics collection is off; see
 	// Options.Metrics.
 	Metrics *obs.Registry
+
+	// FleetBudgetW is the per-board share of the fleet power budget used by
+	// FleetSweep; 0 means DefaultFleetBoardBudgetW. See Options.FleetBudgetW.
+	FleetBudgetW float64
 }
 
 // NewContext builds the platform (identification plus model fitting) with
@@ -63,11 +67,12 @@ func NewContextWithOptions(opt Options) (*Context, error) {
 		seed = 1
 	}
 	c := &Context{
-		P:           p,
-		Parallelism: opt.Parallelism,
-		Seed:        seed,
-		Supervise:   opt.Supervise,
-		TraceDir:    opt.TraceDir,
+		P:            p,
+		Parallelism:  opt.Parallelism,
+		Seed:         seed,
+		Supervise:    opt.Supervise,
+		TraceDir:     opt.TraceDir,
+		FleetBudgetW: opt.FleetBudgetW,
 	}
 	if opt.Metrics {
 		c.Metrics = obs.NewRegistry()

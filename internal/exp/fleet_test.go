@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFleetSweepFeedbackWins gates the fleet coordination headline (ISSUE 5,
+// as TestSupervisedClassSweep gates PR 3's): on the heterogeneous quick mix
+// at N=16 under the default shared budget, the slack-feedback reallocator
+// must beat the static equal-share baseline on fleet EDP.
+func TestFleetSweepFeedbackWins(t *testing.T) {
+	c := testContext(t)
+	tab, err := c.FleetSweep([]int{16}, []string{"equal", "feedback"}, []string{"clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := tab.Cell("clean", 16, "equal-share")
+	fb := tab.Cell("clean", 16, "slack-feedback")
+	if eq == nil || fb == nil {
+		t.Fatalf("missing cells: equal=%v feedback=%v", eq, fb)
+	}
+	if eq.Incomplete > 0 || fb.Incomplete > 0 {
+		t.Fatalf("boards hit the time limit: equal=%d feedback=%d", eq.Incomplete, fb.Incomplete)
+	}
+	if fb.EDP >= eq.EDP {
+		t.Errorf("slack-feedback EDP %.0f J·s should beat equal-share %.0f J·s",
+			fb.EDP, eq.EDP)
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "slack-feedback") || !strings.Contains(out, "equal-share") {
+		t.Fatalf("render output malformed:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+// TestFleetSweepDefaults exercises the default axes at the small size only
+// (N=4) and checks the structural invariants of the table.
+func TestFleetSweepDefaults(t *testing.T) {
+	c := testContext(t)
+	tab, err := c.FleetSweep([]int{4}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Policies) != 2 || len(tab.Classes) != 1 {
+		t.Fatalf("unexpected default axes: %v %v", tab.Policies, tab.Classes)
+	}
+	for ci := range tab.Classes {
+		for ni := range tab.Ns {
+			for pi := range tab.Policies {
+				cell := tab.Cells[ci][ni][pi]
+				if cell.EDP <= 0 || cell.MakespanS <= 0 || cell.EnergyJ <= 0 {
+					t.Errorf("degenerate cell %+v", cell)
+				}
+				if cell.Reallocations == 0 {
+					t.Errorf("policy %s never reallocated", cell.Policy)
+				}
+			}
+		}
+	}
+}

@@ -3,11 +3,10 @@ package exp
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"yukta/internal/core"
 	"yukta/internal/obs"
+	"yukta/internal/pool"
 )
 
 // Options configures the experiment harness.
@@ -38,6 +37,10 @@ type Options struct {
 	// it through every run and the worker pool, accumulating step-latency
 	// histograms, cache hit rates, fault/trip counters and pool occupancy.
 	Metrics bool
+
+	// FleetBudgetW overrides the per-board share of the shared fleet power
+	// budget used by FleetSweep; 0 means DefaultFleetBoardBudgetW.
+	FleetBudgetW float64
 }
 
 // workers resolves the context's parallelism setting to a concrete count.
@@ -54,81 +57,22 @@ func (c *Context) workers() int {
 // preallocated slice and assemble them in the original order afterwards —
 // the rendered tables come out byte-identical to a sequential run.
 //
-// Error handling is deterministic too: every job's error is recorded per
-// index and the lowest-index failure is returned, regardless of which worker
-// hit an error first. After any failure the remaining unstarted jobs are
-// skipped.
+// The implementation lives in internal/pool (it is shared with the fleet
+// runner); this wrapper keeps the harness call sites unchanged.
 func forEach(workers, n int, fn func(i int) error) error {
-	return forEachMetered(workers, n, nil, fn)
+	return pool.ForEach(workers, n, fn)
 }
 
-// forEachMetered is forEach with optional pool instrumentation: when m is
-// non-nil every executed job increments pool_jobs_total and holds the
-// pool_workers_active gauge (whose high-water mark records the peak
-// occupancy) for the duration of fn. Instrumentation never changes
-// scheduling, so traces and tables stay byte-identical with it on.
+// forEachMetered is forEach with optional pool instrumentation; see
+// pool.ForEachMetered.
 func forEachMetered(workers, n int, m *obs.Registry, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	run := fn
-	if m != nil {
-		jobs := m.Counter("pool_jobs_total")
-		active := m.Gauge("pool_workers_active")
-		run = func(i int) error {
-			jobs.Add(1)
-			active.Add(1)
-			defer active.Add(-1)
-			return fn(i)
-		}
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := run(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	jobs := make(chan int)
-	errs := make([]error, n)
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if failed.Load() {
-					continue
-				}
-				if err := run(i); err != nil {
-					errs[i] = err
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return pool.ForEachMetered(workers, n, m, fn)
 }
 
 // forEach is the Context-level fan-out: it uses the context's worker count
 // and its metrics registry (nil when metrics are off).
 func (c *Context) forEach(n int, fn func(i int) error) error {
-	return forEachMetered(c.workers(), n, c.Metrics, fn)
+	return pool.ForEachMetered(c.workers(), n, c.Metrics, fn)
 }
 
 // warmSchemes builds one session per scheme concurrently before the run

@@ -68,3 +68,18 @@ func (c *Context) writeTrace(stem string, rec *obs.Recorder) error {
 	return os.WriteFile(filepath.Join(c.TraceDir, stem+".timeline.txt"),
 		[]byte(rec.Timeline(100)), 0o644)
 }
+
+// writeFleetTrace persists one fleet run's coordination-layer recorder into
+// the context's TraceDir as <stem>.fleet.jsonl. The .fleet.jsonl suffix is
+// the dispatch key between the per-board and fleet schemas for validation
+// tooling (obs.ValidateFleetJSONL vs obs.ValidateJSONL).
+func (c *Context) writeFleetTrace(stem string, rec *obs.FleetRecorder) error {
+	if err := os.MkdirAll(c.TraceDir, 0o755); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(c.TraceDir, stem+".fleet.jsonl"), buf.Bytes(), 0o644)
+}

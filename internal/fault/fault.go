@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"yukta/internal/board"
@@ -204,13 +205,28 @@ type Injector struct {
 	stats Stats
 }
 
-// RunKey builds the canonical run key for a (scheme, app) pair. The
-// separator is a NUL byte, which neither scheme names nor app names contain,
-// so the encoding is injective: distinct pairs can never alias to the same
-// key (a plain "|" separator would let ("x|y", "z") and ("x", "y|z")
-// collide and share fault streams).
-func RunKey(scheme, app string) string {
-	return scheme + "\x00" + app
+// RunKey builds the canonical run key for a (scheme, app) pair, optionally
+// qualified by a fleet board index. The separator is a NUL byte, which
+// neither scheme names nor app names contain, so the encoding is injective:
+// distinct pairs can never alias to the same key (a plain "|" separator
+// would let ("x|y", "z") and ("x", "y|z") collide and share fault streams).
+//
+// Fleet runs pass the board's index so N boards running the same
+// (scheme, app) draw N independent fault streams. Board 0 (or an absent
+// index) encodes identically to the historical two-argument key, preserving
+// common-random-numbers pairing between a fleet's board 0 and the solo run
+// of the same (scheme, app) — and keeping every previously recorded fault
+// sequence byte-identical. Non-zero indices append a NUL-separated decimal
+// suffix, which cannot collide with any (scheme, app) pair whose names are
+// NUL-free.
+func RunKey(scheme, app string, boardIndex ...int) string {
+	key := scheme + "\x00" + app
+	for _, idx := range boardIndex {
+		if idx != 0 {
+			key += "\x00" + strconv.Itoa(idx)
+		}
+	}
+	return key
 }
 
 // ClassNames lists the isolated fault-class presets PresetClass accepts, in

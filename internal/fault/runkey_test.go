@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+)
+
+// runKeySchemes mirrors the scheme names the harness actually derives
+// streams from (core's Table IV names plus the supervised fault-key alias,
+// which shares its primary's key by design and is therefore excluded from
+// the uniqueness set).
+var runKeySchemes = []string{
+	"Coordinated heuristic",
+	"Decoupled heuristic",
+	"Yukta: HW SSV+OS heuristic",
+	"Yukta: HW SSV+OS SSV",
+	"Decoupled HW LQG+OS LQG",
+	"Monolithic LQG",
+}
+
+// runKeyApps is a representative evaluation app list, including names that
+// are prefixes of one another would be if they existed; plain SPEC/PARSEC
+// names are enough because RunKey's NUL separators make prefix collisions
+// structurally impossible for NUL-free names.
+var runKeyApps = []string{
+	"gamess", "mcf", "blackscholes", "streamcluster", "perlbench",
+	"bodytrack", "freqmine", "x264",
+}
+
+// TestRunKeyCrossProductCollisionFree walks the full (scheme, app, fault
+// class, board index) cross product the fleet sweeps can generate and
+// asserts every derived seed is unique: no fleet board may alias another
+// board's (or a solo run's) fault stream, for any class stream.
+func TestRunKeyCrossProductCollisionFree(t *testing.T) {
+	classes := ClassNames()
+	for _, extra := range []string{"noise", "phase"} {
+		seen := false
+		for _, c := range classes {
+			if c == extra {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			classes = append(classes, extra)
+		}
+	}
+	keys := make(map[string]string)   // RunKey -> identity
+	seeds := make(map[int64][]string) // derived seed -> identities (collision list)
+	const seed = 42
+	for _, sch := range runKeySchemes {
+		for _, app := range runKeyApps {
+			for idx := 0; idx < 64; idx++ {
+				id := fmt.Sprintf("%s/%s/board%d", sch, app, idx)
+				key := RunKey(sch, app, idx)
+				if prev, ok := keys[key]; ok {
+					t.Fatalf("RunKey collision: %s and %s both map to %q", prev, id, key)
+				}
+				keys[key] = id
+				for _, class := range classes {
+					s := derive(seed, key, class)
+					cid := id + "/" + class
+					seeds[s] = append(seeds[s], cid)
+				}
+			}
+		}
+	}
+	// FNV-64 over ~100k identities: any collision at all is overwhelmingly
+	// likely a derivation bug (identical inputs), not hash bad luck.
+	for s, ids := range seeds {
+		if len(ids) > 1 {
+			t.Fatalf("derived seed %d shared by %v", s, ids)
+		}
+	}
+	if want := len(runKeySchemes) * len(runKeyApps) * 64; len(keys) != want {
+		t.Fatalf("expected %d distinct keys, got %d", want, len(keys))
+	}
+}
+
+// TestRunKeyBoardZeroCompat pins the common-random-numbers contract: board
+// index 0 (and an omitted index) encode to the historical two-argument key,
+// so fleet board 0 pairs with the solo run of the same (scheme, app), while
+// every other index gets its own stream.
+func TestRunKeyBoardZeroCompat(t *testing.T) {
+	if got, want := RunKey("s", "a", 0), RunKey("s", "a"); got != want {
+		t.Fatalf("RunKey(s, a, 0) = %q, want the two-argument key %q", got, want)
+	}
+	if got, want := RunKey("s", "a"), "s\x00a"; got != want {
+		t.Fatalf("two-argument key changed encoding: %q, want %q", got, want)
+	}
+	for idx := 1; idx < 8; idx++ {
+		if RunKey("s", "a", idx) == RunKey("s", "a") {
+			t.Fatalf("board %d aliases the solo key", idx)
+		}
+	}
+}

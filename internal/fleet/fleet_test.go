@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// checkInvariants asserts the Policy contract on one allocation.
+func checkInvariants(t *testing.T, name string, dst []float64, b Budget, tel []Telemetry) {
+	t.Helper()
+	if got := sum(dst); got > b.TotalW+1e-9 {
+		t.Fatalf("%s: Σ caps %.6f exceeds budget %.6f", name, got, b.TotalW)
+	}
+	for i, w := range dst {
+		if tel[i].Done {
+			if w != 0 {
+				t.Fatalf("%s: done board %d allocated %.3f W", name, i, w)
+			}
+			continue
+		}
+		if w < b.MinW-1e-9 {
+			t.Fatalf("%s: board %d cap %.3f below floor %.3f", name, i, w, b.MinW)
+		}
+		if w > b.MaxW+1e-9 {
+			t.Fatalf("%s: board %d cap %.3f above max %.3f", name, i, w, b.MaxW)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("%s: board %d cap %v not finite", name, i, w)
+		}
+	}
+}
+
+// TestPolicyInvariantsRandomized drives both policies over seeded random
+// telemetry sequences and asserts conservation, floors and ceilings on every
+// allocation — the property the fleet runner's correctness rests on.
+func TestPolicyInvariantsRandomized(t *testing.T) {
+	for _, name := range []string{"equal", "feedback"} {
+		pol, err := NewPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(12)
+			b := Budget{MinW: 0.5 + rng.Float64(), MaxW: 3 + 3*rng.Float64()}
+			b.TotalW = b.MinW*float64(n) + rng.Float64()*float64(n)*2
+			tel := make([]Telemetry, n)
+			dst := make([]float64, n)
+			for step := 0; step < 10; step++ {
+				for i := range tel {
+					tel[i] = Telemetry{
+						PowerW:    rng.Float64() * 5,
+						BIPS:      rng.Float64() * 8,
+						CapW:      dst[i],
+						Throttled: rng.Intn(3) == 0,
+						Done:      step > 5 && rng.Intn(4) == 0,
+					}
+				}
+				pol.Allocate(dst, b, tel)
+				checkInvariants(t, pol.Name(), dst, b, tel)
+			}
+		}
+	}
+}
+
+func TestEqualShareSplitsEvenly(t *testing.T) {
+	b := Budget{TotalW: 8, MinW: 1, MaxW: 4}
+	tel := make([]Telemetry, 4)
+	dst := make([]float64, 4)
+	EqualShare{}.Allocate(dst, b, tel)
+	for i, w := range dst {
+		if math.Abs(w-2) > 1e-12 {
+			t.Fatalf("board %d got %.3f W, want 2", i, w)
+		}
+	}
+	// A done board releases its share to the others.
+	tel[3].Done = true
+	EqualShare{}.Allocate(dst, b, tel)
+	for i := 0; i < 3; i++ {
+		if math.Abs(dst[i]-8.0/3) > 1e-12 {
+			t.Fatalf("board %d got %.3f W, want %.3f", i, dst[i], 8.0/3)
+		}
+	}
+	if dst[3] != 0 {
+		t.Fatalf("done board got %.3f W", dst[3])
+	}
+}
+
+func TestSlackFeedbackShiftsTowardSlack(t *testing.T) {
+	p := NewSlackFeedback()
+	b := Budget{TotalW: 5, MinW: 1, MaxW: 4}
+	dst := make([]float64, 2)
+	// Establish peaks: board 0 has demonstrated 6 BIPS, board 1 runs 1.5.
+	tel := []Telemetry{
+		{PowerW: 2.0, BIPS: 6.0, CapW: 2.0},
+		{PowerW: 2.0, BIPS: 1.5, CapW: 2.0},
+	}
+	p.Allocate(dst, b, tel)
+	// Now board 0 is throttled and far below its peak; board 1 sits at its
+	// peak, also throttled. Watts must flow to board 0.
+	tel = []Telemetry{
+		{PowerW: 2.0, BIPS: 3.0, CapW: dst[0], Throttled: true},
+		{PowerW: 2.0, BIPS: 1.5, CapW: dst[1], Throttled: true},
+	}
+	p.Allocate(dst, b, tel)
+	checkInvariants(t, "slack-feedback", dst, b, tel)
+	if dst[0] <= dst[1] {
+		t.Fatalf("slack board got %.3f W, at-peak board %.3f W — want more toward slack", dst[0], dst[1])
+	}
+}
+
+func TestSlackFeedbackTrimsDonors(t *testing.T) {
+	p := NewSlackFeedback()
+	b := Budget{TotalW: 6, MinW: 1, MaxW: 4}
+	dst := make([]float64, 2)
+	// Board 0 unpressed at 1.5 W draw under a 3 W cap: it is a donor and
+	// keeps only draw + reserve. Board 1 throttled: it collects the rest.
+	tel := []Telemetry{
+		{PowerW: 1.5, BIPS: 1.0, CapW: 3.0},
+		{PowerW: 3.0, BIPS: 4.0, CapW: 3.0, Throttled: true},
+	}
+	p.Allocate(dst, b, tel) // warm peaks
+	tel[1].BIPS = 2.0       // throttled board falls below its peak
+	p.Allocate(dst, b, tel)
+	checkInvariants(t, "slack-feedback", dst, b, tel)
+	donorKeep := 1.5*donorMargin + donorReserveW
+	if math.Abs(dst[0]-donorKeep) > 1e-9 {
+		t.Fatalf("donor kept %.3f W, want %.3f", dst[0], donorKeep)
+	}
+	if dst[1] < 3.5 {
+		t.Fatalf("pressed board got %.3f W, want the donated watts", dst[1])
+	}
+}
+
+func TestNewPolicyRejectsUnknown(t *testing.T) {
+	if _, err := NewPolicy("round-robin"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

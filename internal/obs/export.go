@@ -25,15 +25,17 @@ const (
 	kindString
 )
 
-// fieldSpec is one field of the flight-record schema: its JSONL/CSV name,
-// its kind, the enum of permitted values for string fields, whether a line
-// may omit it, and the extractor that appends its JSON encoding.
-type fieldSpec struct {
+// fieldSpec is one field of a record schema: its JSONL/CSV name, its kind,
+// the enum of permitted values for string fields, whether a line may omit
+// it, and the extractor that appends its JSON encoding. It is generic over
+// the record type so the flight-record and fleet-record schemas share one
+// exporter and one validator.
+type fieldSpec[T any] struct {
 	name     string
 	kind     fieldKind
 	enum     []string
 	optional bool
-	appendTo func(b []byte, r *Record) []byte
+	appendTo func(b []byte, r *T) []byte
 }
 
 // stateEnum and causeEnum are the permitted values of the supervisory
@@ -45,30 +47,30 @@ var (
 )
 
 // intF, floatF, boolF and strF build fieldSpecs for the four kinds.
-func intF(name string, get func(*Record) int) fieldSpec {
-	return fieldSpec{name: name, kind: kindInt,
-		appendTo: func(b []byte, r *Record) []byte { return strconv.AppendInt(b, int64(get(r)), 10) }}
+func intF[T any](name string, get func(*T) int) fieldSpec[T] {
+	return fieldSpec[T]{name: name, kind: kindInt,
+		appendTo: func(b []byte, r *T) []byte { return strconv.AppendInt(b, int64(get(r)), 10) }}
 }
 
-func floatF(name string, get func(*Record) float64) fieldSpec {
-	return fieldSpec{name: name, kind: kindFloat,
-		appendTo: func(b []byte, r *Record) []byte { return appendJSONFloat(b, get(r)) }}
+func floatF[T any](name string, get func(*T) float64) fieldSpec[T] {
+	return fieldSpec[T]{name: name, kind: kindFloat,
+		appendTo: func(b []byte, r *T) []byte { return appendJSONFloat(b, get(r)) }}
 }
 
-func boolF(name string, get func(*Record) bool) fieldSpec {
-	return fieldSpec{name: name, kind: kindBool,
-		appendTo: func(b []byte, r *Record) []byte { return strconv.AppendBool(b, get(r)) }}
+func boolF[T any](name string, get func(*T) bool) fieldSpec[T] {
+	return fieldSpec[T]{name: name, kind: kindBool,
+		appendTo: func(b []byte, r *T) []byte { return strconv.AppendBool(b, get(r)) }}
 }
 
-func strF(name string, enum []string, get func(*Record) string) fieldSpec {
-	return fieldSpec{name: name, kind: kindString, enum: enum,
-		appendTo: func(b []byte, r *Record) []byte { return strconv.AppendQuote(b, get(r)) }}
+func strF[T any](name string, enum []string, get func(*T) string) fieldSpec[T] {
+	return fieldSpec[T]{name: name, kind: kindString, enum: enum,
+		appendTo: func(b []byte, r *T) []byte { return strconv.AppendQuote(b, get(r)) }}
 }
 
 // schema is the flight-record line schema, in emission order. The JSONL
 // writer and ValidateJSONL share this single table, so the exporter cannot
 // drift from the validator.
-var schema = []fieldSpec{
+var schema = []fieldSpec[Record]{
 	intF("step", func(r *Record) int { return r.Step }),
 	floatF("t_s", func(r *Record) float64 { return r.TimeS }),
 	floatF("big_w", func(r *Record) float64 { return r.BigPowerW }),
@@ -79,6 +81,8 @@ var schema = []fieldSpec{
 	floatF("bips_little", func(r *Record) float64 { return r.BIPSLittle }),
 	boolF("throttled", func(r *Record) bool { return r.Throttled }),
 	boolF("thermal_throttled", func(r *Record) bool { return r.ThermalThrottled }),
+	floatF("cap_w", func(r *Record) float64 { return r.PowerCapW }),
+	boolF("budget_throttled", func(r *Record) bool { return r.BudgetThrottled }),
 	intF("cmd_big_cores", func(r *Record) int { return r.CmdBigCores }),
 	intF("cmd_little_cores", func(r *Record) int { return r.CmdLittleCores }),
 	floatF("cmd_big_ghz", func(r *Record) float64 { return r.CmdBigGHz }),
@@ -120,30 +124,33 @@ func appendJSONFloat(b []byte, v float64) []byte {
 	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
-// SchemaFields returns the JSONL field names in emission order (the last,
-// "lat_ns", is optional — see Recorder.IncludeLatency). Exposed for tests
-// and documentation tooling.
-func SchemaFields() []string {
+// fieldNames returns a schema's JSONL field names in emission order.
+func fieldNames[T any](schema []fieldSpec[T]) []string {
 	out := make([]string, len(schema))
-	for i, f := range schema {
-		out[i] = f.name
+	for i := range schema {
+		out[i] = schema[i].name
 	}
 	return out
 }
 
-// WriteJSONL writes the retained records as one JSON object per line, fields
-// in schema order. Output is deterministic: floats use the shortest
-// round-trip formatting, non-finite values become null, and the
-// nondeterministic lat_ns field is emitted only when IncludeLatency is set.
-func (r *Recorder) WriteJSONL(w io.Writer) error {
+// SchemaFields returns the JSONL field names in emission order (the last,
+// "lat_ns", is optional — see Recorder.IncludeLatency). Exposed for tests
+// and documentation tooling.
+func SchemaFields() []string { return fieldNames(schema) }
+
+// writeJSONLTable writes n records as one JSON object per line, fields in
+// schema order, skipping optional fields unless includeOptional is set.
+func writeJSONLTable[T any](w io.Writer, schema []fieldSpec[T], n int,
+	at func(int) T, includeOptional bool) error {
+
 	buf := make([]byte, 0, 1024)
-	for i := 0; i < r.Len(); i++ {
-		rec := r.At(i)
+	for i := 0; i < n; i++ {
+		rec := at(i)
 		buf = buf[:0]
 		buf = append(buf, '{')
 		for fi := range schema {
 			f := &schema[fi]
-			if f.optional && !r.IncludeLatency {
+			if f.optional && !includeOptional {
 				continue
 			}
 			if len(buf) > 1 {
@@ -160,6 +167,14 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteJSONL writes the retained records as one JSON object per line, fields
+// in schema order. Output is deterministic: floats use the shortest
+// round-trip formatting, non-finite values become null, and the
+// nondeterministic lat_ns field is emitted only when IncludeLatency is set.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return writeJSONLTable(w, schema, r.Len(), r.At, r.IncludeLatency)
 }
 
 // WriteCSV writes the retained records as CSV with a header row, fields in
@@ -190,7 +205,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 
 // appendCSVField appends one field's CSV form (strings unquoted — the enum
 // values contain no commas; floats in native Go form so NaN survives).
-func appendCSVField(b []byte, f *fieldSpec, rec *Record) []byte {
+func appendCSVField[T any](b []byte, f *fieldSpec[T], rec *T) []byte {
 	j := f.appendTo(nil, rec)
 	switch f.kind {
 	case kindString:
@@ -207,13 +222,13 @@ func appendCSVField(b []byte, f *fieldSpec, rec *Record) []byte {
 	return append(b, j...)
 }
 
-// ValidateJSONL checks a JSONL stream against the flight-record schema: each
-// line must be a JSON object carrying exactly the schema's fields (the
-// optional lat_ns field may be absent), with the right JSON types, integer
-// fields integral, and string fields within their enums. It returns the
-// number of valid records and the first violation found.
-func ValidateJSONL(rd io.Reader) (int, error) {
-	byName := make(map[string]*fieldSpec, len(schema))
+// validateJSONLTable checks a JSONL stream against a schema: each line must
+// be a JSON object carrying exactly the schema's fields (optional fields may
+// be absent), with the right JSON types, integer fields integral, and string
+// fields within their enums. It returns the number of valid records and the
+// first violation found.
+func validateJSONLTable[T any](rd io.Reader, schema []fieldSpec[T]) (int, error) {
+	byName := make(map[string]*fieldSpec[T], len(schema))
 	for i := range schema {
 		byName[schema[i].name] = &schema[i]
 	}
@@ -259,8 +274,17 @@ func ValidateJSONL(rd io.Reader) (int, error) {
 	return n, nil
 }
 
+// ValidateJSONL checks a JSONL stream against the flight-record schema: each
+// line must be a JSON object carrying exactly the schema's fields (the
+// optional lat_ns field may be absent), with the right JSON types, integer
+// fields integral, and string fields within their enums. It returns the
+// number of valid records and the first violation found.
+func ValidateJSONL(rd io.Reader) (int, error) {
+	return validateJSONLTable(rd, schema)
+}
+
 // checkField validates one decoded JSON value against its field spec.
-func checkField(f *fieldSpec, v any) error {
+func checkField[T any](f *fieldSpec[T], v any) error {
 	switch f.kind {
 	case kindInt:
 		num, ok := v.(json.Number)

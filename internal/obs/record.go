@@ -49,6 +49,12 @@ type Record struct {
 	// ThermalThrottled reports whether specifically the thermal emergency
 	// path was engaged.
 	ThermalThrottled bool
+	// PowerCapW is the board power budget imposed by the fleet layer this
+	// interval (0 = uncapped solo run).
+	PowerCapW float64
+	// BudgetThrottled reports whether the budget governor was holding
+	// frequency down to enforce PowerCapW.
+	BudgetThrottled bool
 
 	// CmdBigCores is the commanded (requested) big-cluster core count after
 	// the controller stepped.
