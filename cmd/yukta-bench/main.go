@@ -27,8 +27,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
+	"yukta/internal/core"
 	"yukta/internal/exp"
 	"yukta/internal/obs"
 )
@@ -55,8 +57,17 @@ func main() {
 		fleetN    = flag.Int("fleet", 0, "run the fleet sweep with this many boards under a shared power budget (0 = off); with -faults the sweep also covers the fault classes")
 		fleetPol  = flag.String("fleetpolicy", "all", "fleet budget policy: equal, feedback or all")
 		fleetBW   = flag.Float64("fleetbudget", exp.DefaultFleetBoardBudgetW, "per-board share of the shared fleet power budget, in watts")
+		engine    = flag.String("engine", "", "simulation engine: event (default) or lockstep; both are byte-identical in results and traces")
+		fleetScl  = flag.String("fleetscale", "", "run the engine scaling-curve benchmark over these comma-separated fleet sizes (e.g. 64,256)")
+		benchOut  = flag.String("benchout", "", "write the scaling-curve benchmark report as JSON to this file")
+		sclGuard  = flag.Bool("scaleguard", false, "fail unless the event engine beats lockstep at the largest -fleetscale size (regression gate)")
 	)
 	flag.Parse()
+
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *traceChk != "" {
 		if err := checkTraces(*traceChk); err != nil {
@@ -117,7 +128,7 @@ func main() {
 		}
 		return
 	}
-	if *fig == "" && !*all && !*faults && *fleetN == 0 {
+	if *fig == "" && !*all && !*faults && *fleetN == 0 && *fleetScl == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -135,6 +146,7 @@ func main() {
 		TraceDir:     *traceDir,
 		Metrics:      *metrics,
 		FleetBudgetW: *fleetBW,
+		Engine:       eng,
 	})
 	if err != nil {
 		fatal(err)
@@ -142,6 +154,40 @@ func main() {
 	if ctx.Metrics != nil {
 		ctx.Metrics.Publish("yukta")
 		defer func() { fmt.Fprint(os.Stderr, ctx.Metrics.Render()) }()
+	}
+
+	if *fleetScl != "" {
+		ns, err := parseSizes(*fleetScl)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := ctx.FleetScale(ns)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep.Render())
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				fatal(err)
+			}
+			werr := rep.WriteJSON(f)
+			cerr := f.Close()
+			if werr != nil {
+				fatal(werr)
+			}
+			if cerr != nil {
+				fatal(cerr)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchOut)
+		}
+		if *sclGuard {
+			if err := rep.Check(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "scale guard OK: event engine beats lockstep at the largest size")
+		}
+		return
 	}
 
 	if *fleetN > 0 {
@@ -356,6 +402,26 @@ func checkTraces(dir string) error {
 		fmt.Printf("%s: %d records OK\n", path, n)
 	}
 	return nil
+}
+
+// parseSizes parses a comma-separated list of positive fleet sizes.
+func parseSizes(s string) ([]int, error) {
+	var ns []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid fleet size %q in -fleetscale", part)
+		}
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("-fleetscale needs at least one fleet size")
+	}
+	return ns, nil
 }
 
 func fatal(err error) {

@@ -42,9 +42,15 @@ func main() {
 		faults    = flag.Float64("faults", 0, "fault-campaign intensity (0 = clean; 1 = harness's harshest default)")
 		faultSeed = flag.Int64("faultseed", 1, "base seed of the injected fault campaign")
 		record    = flag.String("record", "", "write the flight-recorder decision log to this JSONL path and print its timeline")
+		engine    = flag.String("engine", "", "simulation engine: event (default) or lockstep; both are byte-identical in results and traces")
 		list      = flag.Bool("list", false, "list workloads and schemes")
 	)
 	flag.Parse()
+
+	eng, err := yukta.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		fmt.Println("workloads:", yukta.EvaluationApps())
@@ -72,7 +78,7 @@ func main() {
 		cfg.SensorNoiseStd = *noise
 		cfg.SensorNoiseSeed = 1
 	}
-	opt := yukta.RunOptions{MaxTime: *maxTime}
+	opt := yukta.RunOptions{MaxTime: *maxTime, Engine: eng}
 	if *faults > 0 {
 		opt.Faults = yukta.FaultPreset(*faultSeed, *faults)
 	}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"yukta/internal/board"
+	"yukta/internal/fault"
+	"yukta/internal/obs"
+	"yukta/internal/sched"
+	"yukta/internal/workload"
+)
+
+// Engine selects the simulation core that advances a run through time.
+//
+// Both engines execute identical per-interval physics and controller steps
+// and are byte-identical in every observable output (results, per-board
+// traces, fleet traces) at any parallelism; they differ only in how the
+// clock finds the next board to step. The golden-trace suite and
+// TestEngineEquivalence pin the equivalence.
+type Engine string
+
+const (
+	// EngineEvent is the shared-clock discrete-event engine (the default).
+	// Board wakes, budget reallocations and trace flushes are timed events
+	// on a deterministic heap (internal/sched): a finished board falls out
+	// of the clock entirely, and a live board batches every control
+	// interval up to its next interaction point — the reallocation barrier
+	// where its power cap can change — into a single wake, eliminating the
+	// per-interval pool barrier and the per-interval scan over all boards.
+	EngineEvent Engine = "event"
+	// EngineLockstep is the reference engine: every board is visited on
+	// every control interval under a per-interval pool barrier. It is kept
+	// as the executable specification the event engine is tested against.
+	EngineLockstep Engine = "lockstep"
+)
+
+// resolve maps the zero value to the default engine and rejects unknown
+// names.
+func (e Engine) resolve() (Engine, error) {
+	switch e {
+	case "", EngineEvent:
+		return EngineEvent, nil
+	case EngineLockstep:
+		return EngineLockstep, nil
+	}
+	return "", fmt.Errorf("core: unknown engine %q (want %q or %q)", e, EngineEvent, EngineLockstep)
+}
+
+// ParseEngine validates an -engine flag value ("", "event" or "lockstep")
+// and returns the Engine it selects.
+func ParseEngine(s string) (Engine, error) { return Engine(s).resolve() }
+
+// Event kinds of the simulation engines, in execution order within one
+// instant: coordinator work (budget reallocation) strictly precedes the
+// board wakes it influences, and board wakes at the same instant order by
+// board index. This ordering is what makes the event engine a drop-in
+// replacement for the lockstep loop's "reallocate, then step every board"
+// interval structure.
+const (
+	evRealloc int8 = iota
+	evWake
+)
+
+// soloRun is the per-run state shared by both engines of Run: the loop body
+// is identical; only the schedule that invokes it differs.
+type soloRun struct {
+	w        workload.Workload
+	b        *board.Board
+	sess     Session
+	inj      *fault.Injector
+	opt      *RunOptions
+	res      *RunResult
+	observe  bool
+	lat      *obs.Histogram
+	hp       healthProbe
+	fp       flightProber
+	maxSteps int
+
+	prevFaults fault.Stats
+	sensors    board.Sensors
+}
+
+// step executes control interval i: advance the fault injector, run the
+// board physics, invoke the controller stack, and feed the observation
+// taps. It is the single definition of "one control interval" for both
+// engines.
+func (r *soloRun) step(i int) {
+	if r.inj != nil {
+		r.inj.Advance(r.b)
+	}
+	r.sensors = r.b.Run(r.w, r.opt.Interval)
+	var t0 time.Time
+	if r.observe {
+		t0 = time.Now()
+	}
+	r.sess.Step(r.sensors, r.b, r.w.Profile().Threads)
+	if r.observe {
+		latNS := time.Since(t0).Nanoseconds()
+		if r.lat != nil {
+			r.lat.Observe(float64(latNS) / 1e3)
+		}
+		if r.opt.Trace != nil {
+			recordInterval(r.opt.Trace, i, r.sensors, r.b, r.inj, &r.prevFaults, r.hp, r.fp, latNS)
+		}
+	}
+	if !r.opt.SkipSeries {
+		r.res.BigPower.Add(r.sensors.TimeS, r.sensors.BigPowerW)
+		r.res.LittlePower.Add(r.sensors.TimeS, r.sensors.LittlePowerW)
+		r.res.Perf.Add(r.sensors.TimeS, r.sensors.BIPS)
+		r.res.Temp.Add(r.sensors.TimeS, r.sensors.TempC)
+		r.res.BigFreq.Add(r.sensors.TimeS, r.b.EffectiveBigFreq())
+	}
+}
+
+// runLockstep advances the run one interval at a time — the reference
+// schedule.
+func (r *soloRun) runLockstep() {
+	for i := 0; i < r.maxSteps && !r.w.Done(); i++ {
+		r.step(i)
+	}
+}
+
+// runEvent advances the run on the discrete-event clock. A solo board has
+// no external interaction points before MaxTime — no fleet layer can change
+// its cap mid-run — so the next-wake computation degenerates to a single
+// wake whose batch is every remaining interval: the controller still steps
+// each interval (its dynamics are per-interval state, so anything coarser
+// would change the trace), but the clock is consulted once instead of
+// maxSteps times.
+func (r *soloRun) runEvent() {
+	h := sched.NewHeap(1)
+	h.Push(sched.Event{Time: 0, Kind: evWake})
+	for h.Len() > 0 {
+		e := h.Pop()
+		if e.Kind != evWake {
+			continue
+		}
+		for i := e.Time; i < r.maxSteps && !r.w.Done(); i++ {
+			r.step(i)
+		}
+		// Completion or MaxTime: nothing reschedules, the clock drains.
+	}
+}

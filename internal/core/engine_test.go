@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"yukta/internal/fault"
+	"yukta/internal/fleet"
+	"yukta/internal/obs"
+	"yukta/internal/workload"
+)
+
+// equivSchemes is the scheme set the cross-engine property test sweeps — the
+// same five families the golden suite pins.
+func equivSchemes(p *Platform) []Scheme {
+	hp, op := DefaultHWParams(), DefaultOSParams()
+	return []Scheme{
+		p.CoordinatedHeuristic(),
+		p.DecoupledHeuristic(),
+		p.MonolithicLQG(),
+		p.YuktaFullSSV(hp, op),
+		p.SupervisedYuktaSSV(hp, op),
+	}
+}
+
+// equivClasses is clean plus every isolated fault class.
+func equivClasses() []string {
+	return append([]string{"clean"}, fault.ClassNames()...)
+}
+
+// soloFingerprint executes one solo run on the given engine and returns its
+// full observable output: the per-interval JSONL trace followed by every
+// scalar of the result.
+func soloFingerprint(t *testing.T, p *Platform, sch Scheme, class string, eng Engine) []byte {
+	t.Helper()
+	w, err := workload.Lookup("gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(0)
+	opt := RunOptions{
+		MaxTime:    20 * time.Second,
+		SkipSeries: true,
+		Trace:      rec,
+		Engine:     eng,
+	}
+	if class != "clean" {
+		opt.Faults = fault.PresetClass(7, 1.0, class)
+	}
+	res, err := Run(p.Cfg, sch, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "result: time=%v energy=%v exd=%v completed=%v emergencies=%d faults=%+v\n",
+		res.TimeS, res.EnergyJ, res.ExD, res.Completed, res.EmergencyEvents, res.Faults)
+	if res.Supervisor != nil {
+		fmt.Fprintf(&buf, "supervisor: %+v\n", *res.Supervisor)
+	}
+	return buf.Bytes()
+}
+
+// fleetFingerprint executes one fleet run on the given engine and returns
+// the fleet JSONL trace, every per-board JSONL trace, and every scalar of
+// the result.
+func fleetFingerprint(t *testing.T, p *Platform, sch Scheme, class string, n int, eng Engine) []byte {
+	t.Helper()
+	members := fleetTestMembers(t, p, n, sch)
+	pol, err := fleet.NewPolicy("feedback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := FleetOptions{
+		Budget:      fleet.Budget{TotalW: 2.2 * float64(n), MinW: 1.0, MaxW: 4.5},
+		Policy:      pol,
+		MaxTime:     30 * time.Second,
+		Parallelism: 4,
+		Engine:      eng,
+	}
+	if class != "clean" {
+		opt.Faults = fault.PresetClass(7, 1.0, class)
+	}
+	opt.Trace = obs.NewFleetRecorder(0)
+	boardRecs := make([]*obs.Recorder, n)
+	for i := range boardRecs {
+		boardRecs[i] = obs.NewRecorder(0)
+	}
+	opt.BoardTraces = boardRecs
+	res, err := FleetRun(p.Cfg, members, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := opt.Trace.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range boardRecs {
+		fmt.Fprintf(&buf, "--- board %d ---\n", i)
+		if err := rec.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fmt.Fprintf(&buf, "result: steps=%d reallocs=%d makespan=%v energy=%v edp=%v geoexd=%v\n",
+		res.Steps, res.Reallocations, res.MakespanS, res.EnergyJ, res.EDP, res.GeoExD)
+	for _, br := range res.Boards {
+		fmt.Fprintf(&buf, "board %d: %+v\n", br.Board, br)
+	}
+	return buf.Bytes()
+}
+
+// diffFingerprints reports the first diverging byte with context.
+func diffFingerprints(t *testing.T, name string, lock, ev []byte) {
+	t.Helper()
+	if bytes.Equal(lock, ev) {
+		return
+	}
+	i := 0
+	for i < len(lock) && i < len(ev) && lock[i] == ev[i] {
+		i++
+	}
+	lo := i - 60
+	if lo < 0 {
+		lo = 0
+	}
+	clip := func(b []byte) []byte {
+		hi := i + 60
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo > len(b) {
+			return nil
+		}
+		return b[lo:hi]
+	}
+	t.Fatalf("%s: engines diverge at byte %d:\nlockstep: %q\nevent:    %q", name, i, clip(lock), clip(ev))
+}
+
+// TestEngineEquivalence is the cross-engine property test: for every scheme ×
+// fault class (clean plus every isolated class) × topology (solo, fleet
+// N∈{1,4,16}), the lockstep and event engines must produce byte-identical
+// observable output — every JSONL trace record and every result scalar. CI
+// runs it under -race, so it also exercises the event engine's batch
+// parallelism for races.
+func TestEngineEquivalence(t *testing.T) {
+	p := testPlatform(t)
+	fleetNs := []int{1, 4, 16}
+	for _, sch := range equivSchemes(p) {
+		for ci, class := range equivClasses() {
+			t.Run(sch.Name+"/"+class, func(t *testing.T) {
+				t.Parallel()
+				lock := soloFingerprint(t, p, sch, class, EngineLockstep)
+				ev := soloFingerprint(t, p, sch, class, EngineEvent)
+				if len(lock) == 0 {
+					t.Fatal("empty solo fingerprint")
+				}
+				diffFingerprints(t, "solo", lock, ev)
+				ns := fleetNs
+				if testing.Short() {
+					// Rotate one fleet size per cell in -short mode; the
+					// full matrix still covers every N per scheme.
+					ns = fleetNs[ci%3 : ci%3+1]
+				}
+				for _, n := range ns {
+					lock := fleetFingerprint(t, p, sch, class, n, EngineLockstep)
+					ev := fleetFingerprint(t, p, sch, class, n, EngineEvent)
+					if len(lock) == 0 {
+						t.Fatalf("empty fleet fingerprint at N=%d", n)
+					}
+					diffFingerprints(t, fmt.Sprintf("fleet N=%d", n), lock, ev)
+				}
+			})
+		}
+	}
+}
+
+// TestParseEngine pins the -engine flag surface: the zero value selects the
+// event engine, both names round-trip, junk is rejected.
+func TestParseEngine(t *testing.T) {
+	if eng, err := ParseEngine(""); err != nil || eng != EngineEvent {
+		t.Fatalf("ParseEngine(\"\") = %v, %v", eng, err)
+	}
+	if eng, err := ParseEngine("event"); err != nil || eng != EngineEvent {
+		t.Fatalf("ParseEngine(event) = %v, %v", eng, err)
+	}
+	if eng, err := ParseEngine("lockstep"); err != nil || eng != EngineLockstep {
+		t.Fatalf("ParseEngine(lockstep) = %v, %v", eng, err)
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Fatal("ParseEngine accepted an unknown engine")
+	}
+}

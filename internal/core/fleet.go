@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"yukta/internal/board"
@@ -64,6 +65,10 @@ type FleetOptions struct {
 	// Metrics, when non-nil, aggregates the run into the registry (pool
 	// occupancy, per-scheme step latency, run/fault counters).
 	Metrics *obs.Registry
+	// Engine selects the simulation core ("" = EngineEvent). Results, the
+	// fleet trace and every per-board trace are byte-identical across
+	// engines; EngineLockstep remains the executable reference.
+	Engine Engine
 }
 
 // FleetBoardResult is one board's outcome within a fleet run.
@@ -111,8 +116,10 @@ type FleetResult struct {
 }
 
 // fleetBoard is the per-board runtime state of a fleet run. Workers touch
-// only their own index during an interval, so the struct needs no locking.
+// only their own board during an interval (or an event batch), so the
+// struct needs no locking.
 type fleetBoard struct {
+	idx  int
 	b    *board.Board
 	sess Session
 	w    workload.Workload
@@ -120,12 +127,36 @@ type fleetBoard struct {
 
 	sens board.Sensors
 	done bool
+	// capZeroed records that the coordinator has already actuated the
+	// board's post-completion zero cap, so later reallocations skip the
+	// write instead of rewriting every finished board every period.
+	capZeroed bool
 
 	// Per-board observation state (mirrors the solo runner's).
 	hp         healthProbe
 	fp         flightProber
 	prevFaults fault.Stats
 	lat        *obs.Histogram
+	trace      *obs.Recorder
+
+	// Event-engine batch state: the epoch the board last woke in, how many
+	// intervals it executed before finishing or hitting the barrier, and —
+	// when a fleet trace is attached — the per-interval samples the
+	// coordinator folds into FleetRecords at the flush (the board runs an
+	// epoch ahead of the fleet trace, so the per-interval view must be
+	// latched, not re-read from live board state).
+	epochStart int
+	batchLen   int
+	wokeEpoch  int
+	samples    []fleetSample
+}
+
+// fleetSample is one live board-interval's contribution to the fleet trace,
+// latched during an event-engine batch.
+type fleetSample struct {
+	bigW, littleW   float64
+	bips            float64
+	budgetThrottled bool
 }
 
 // FleetRun simulates len(members) boards advancing in lockstep under the
@@ -168,13 +199,33 @@ func FleetRun(cfg board.Config, members []FleetMember, opt FleetOptions) (*Fleet
 		return nil, fmt.Errorf("core: BoardTraces has %d entries for %d members", len(opt.BoardTraces), n)
 	}
 
-	boards := make([]*fleetBoard, n)
+	eng, err := opt.Engine.resolve()
+	if err != nil {
+		return nil, err
+	}
+
+	f := &fleetRun{
+		cfg: cfg, opt: &opt, n: n,
+		boards:    make([]*fleetBoard, n),
+		caps:      make([]float64, n),
+		tel:       make([]fleet.Telemetry, n),
+		workers:   opt.Parallelism,
+		maxSteps:  int(opt.MaxTime / opt.Interval),
+		intervalS: opt.Interval.Seconds(),
+		epochLen:  opt.ReallocEvery,
+		res: &FleetResult{
+			Policy:  opt.Policy.Name(),
+			BudgetW: bud.TotalW,
+			Boards:  make([]FleetBoardResult, n),
+		},
+	}
+	f.live.Store(int64(n))
 	for i, m := range members {
 		sess, err := m.Scheme.New()
 		if err != nil {
 			return nil, fmt.Errorf("core: building scheme %q for board %d: %w", m.Scheme.Name, i, err)
 		}
-		fb := &fleetBoard{sess: sess, w: m.Workload}
+		fb := &fleetBoard{idx: i, sess: sess, w: m.Workload}
 		if opt.Faults.Enabled() {
 			runKey := fault.RunKey(m.Scheme.faultKey(), m.Workload.Name(), i)
 			fb.inj = opt.Faults.NewInjector(runKey)
@@ -187,97 +238,152 @@ func FleetRun(cfg board.Config, members []FleetMember, opt FleetOptions) (*Fleet
 			fb.b.AttachActuatorTap(fb.inj)
 		}
 		if opt.BoardTraces != nil && opt.BoardTraces[i] != nil {
+			fb.trace = opt.BoardTraces[i]
 			fb.hp, _ = sess.(healthProbe)
 			fb.fp, _ = sess.(flightProber)
 		}
 		if opt.Metrics != nil {
 			fb.lat = opt.Metrics.Histogram("step_latency_us/"+m.Scheme.Name, obs.LatencyBucketsUS())
 		}
-		boards[i] = fb
+		f.boards[i] = fb
 	}
 
-	caps := make([]float64, n)
-	tel := make([]fleet.Telemetry, n)
-	res := &FleetResult{
-		Policy:  opt.Policy.Name(),
-		BudgetW: bud.TotalW,
-		Boards:  make([]FleetBoardResult, n),
+	if eng == EngineLockstep {
+		err = f.runLockstep()
+	} else {
+		err = f.runEvent()
 	}
-	workers := opt.Parallelism
-	maxSteps := int(opt.MaxTime / opt.Interval)
-	intervalS := opt.Interval.Seconds()
+	if err != nil {
+		return nil, err
+	}
+	return f.finalize(members), nil
+}
 
-	for step := 0; step < maxSteps; step++ {
-		allDone := true
-		for _, fb := range boards {
-			if !fb.done {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
-			break
-		}
+// fleetRun is the state of one fleet simulation, shared by both engines.
+// The coordination goroutine owns everything except the per-board state a
+// pool worker touches while stepping its own board.
+type fleetRun struct {
+	cfg    board.Config
+	opt    *FleetOptions
+	boards []*fleetBoard
+	caps   []float64
+	tel    []fleet.Telemetry
+	res    *FleetResult
 
-		realloc := step%opt.ReallocEvery == 0
+	n         int
+	maxSteps  int
+	intervalS float64
+	workers   int
+	epochLen  int
+
+	// live counts boards whose workload has not completed. It replaces the
+	// lockstep engine's former O(n)-per-step allDone scan: workers decrement
+	// it when their board finishes, and both engines terminate on zero.
+	live atomic.Int64
+}
+
+// runLockstep is the reference engine: reallocate every epochLen intervals,
+// then step every board under a per-interval pool barrier.
+func (f *fleetRun) runLockstep() error {
+	for step := 0; step < f.maxSteps && f.live.Load() > 0; step++ {
+		realloc := step%f.epochLen == 0
 		if realloc {
-			for i, fb := range boards {
-				tel[i] = fleetTelemetry(fb, caps[i], cfg.BasePowerW)
-			}
-			opt.Policy.Allocate(caps, bud, tel)
-			for i, fb := range boards {
-				if fb.done {
-					fb.b.SetPowerCapW(0)
-					caps[i] = 0
-					continue
-				}
-				fb.b.SetPowerCapW(caps[i])
-			}
-			res.Reallocations++
+			f.realloc()
 		}
-
-		err := pool.ForEachMetered(workers, n, opt.Metrics, func(i int) error {
-			fb := boards[i]
+		err := pool.ForEachMetered(f.workers, f.n, f.opt.Metrics, func(i int) error {
+			fb := f.boards[i]
 			if fb.done {
 				return nil
 			}
-			if fb.inj != nil {
-				fb.inj.Advance(fb.b)
-			}
-			fb.sens = fb.b.Run(fb.w, opt.Interval)
-			var t0 time.Time
-			observe := fb.lat != nil || (opt.BoardTraces != nil && opt.BoardTraces[i] != nil)
-			if observe {
-				t0 = time.Now()
-			}
-			fb.sess.Step(fb.sens, fb.b, fb.w.Profile().Threads)
-			if observe {
-				latNS := time.Since(t0).Nanoseconds()
-				if fb.lat != nil {
-					fb.lat.Observe(float64(latNS) / 1e3)
-				}
-				if opt.BoardTraces != nil && opt.BoardTraces[i] != nil {
-					recordInterval(opt.BoardTraces[i], step, fb.sens, fb.b,
-						fb.inj, &fb.prevFaults, fb.hp, fb.fp, latNS)
-				}
-			}
-			if fb.w.Done() {
-				fb.done = true
-			}
+			f.stepBoard(fb, step)
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Steps++
-
-		if opt.Trace != nil {
-			opt.Trace.Add(fleetRecord(step, float64(step+1)*intervalS, bud, caps, boards, realloc, cfg.BasePowerW))
+		f.res.Steps++
+		if f.opt.Trace != nil {
+			f.opt.Trace.Add(fleetRecord(step, float64(step+1)*f.intervalS,
+				f.opt.Budget, f.caps, f.boards, realloc, f.cfg.BasePowerW))
 		}
 	}
+	return nil
+}
 
+// realloc runs the budget policy and actuates the resulting caps. It is
+// invoked from the coordination goroutine only, between barriers, in both
+// engines — the policy never races board stepping. A finished board's cap
+// is zeroed exactly once (capZeroed); afterwards the board is skipped
+// instead of being rewritten every period. The policy still sees the same
+// telemetry it always did: caps[i] is read for telemetry before Allocate
+// runs and zeroed only after, so the first post-completion reallocation
+// observes the board's final pre-completion cap, exactly as the lockstep
+// engine always has.
+func (f *fleetRun) realloc() {
+	for i, fb := range f.boards {
+		f.tel[i] = fleetTelemetry(fb, f.caps[i], f.cfg.BasePowerW)
+	}
+	f.opt.Policy.Allocate(f.caps, f.opt.Budget, f.tel)
+	for i, fb := range f.boards {
+		if fb.done {
+			f.caps[i] = 0
+			if !fb.capZeroed {
+				fb.b.SetPowerCapW(0)
+				fb.capZeroed = true
+			}
+			continue
+		}
+		fb.b.SetPowerCapW(f.caps[i])
+	}
+	f.res.Reallocations++
+}
+
+// stepBoard executes one control interval on one board: advance the fault
+// injector, run the physics, invoke the board's scheme, feed the
+// observation taps, and latch the fleet-trace sample when the event engine
+// is buffering an epoch. It is the single definition of "one board
+// interval" for both engines, so the fault RNG streams and every recorded
+// value are consumed identically.
+func (f *fleetRun) stepBoard(fb *fleetBoard, step int) {
+	if fb.inj != nil {
+		fb.inj.Advance(fb.b)
+	}
+	fb.sens = fb.b.Run(fb.w, f.opt.Interval)
+	var t0 time.Time
+	observe := fb.lat != nil || fb.trace != nil
+	if observe {
+		t0 = time.Now()
+	}
+	fb.sess.Step(fb.sens, fb.b, fb.w.Profile().Threads)
+	if observe {
+		latNS := time.Since(t0).Nanoseconds()
+		if fb.lat != nil {
+			fb.lat.Observe(float64(latNS) / 1e3)
+		}
+		if fb.trace != nil {
+			recordInterval(fb.trace, step, fb.sens, fb.b,
+				fb.inj, &fb.prevFaults, fb.hp, fb.fp, latNS)
+		}
+	}
+	if fb.w.Done() {
+		fb.done = true
+		f.live.Add(-1)
+	}
+	if fb.samples != nil {
+		fb.samples[step-fb.epochStart] = fleetSample{
+			bigW:            fb.sens.BigPowerW,
+			littleW:         fb.sens.LittlePowerW,
+			bips:            fb.sens.BIPS,
+			budgetThrottled: fb.b.BudgetThrottled(),
+		}
+	}
+}
+
+// finalize aggregates the per-board outcomes into the fleet result.
+func (f *fleetRun) finalize(members []FleetMember) *FleetResult {
+	res := f.res
 	res.GeoExD = 1
-	for i, fb := range boards {
+	for i, fb := range f.boards {
 		r := &res.Boards[i]
 		r.Board = i
 		r.App = members[i].Workload.Name()
@@ -294,16 +400,16 @@ func FleetRun(cfg board.Config, members []FleetMember, opt FleetOptions) (*Fleet
 		if r.TimeS > res.MakespanS {
 			res.MakespanS = r.TimeS
 		}
-		res.GeoExD *= math.Pow(r.ExD, 1/float64(n))
+		res.GeoExD *= math.Pow(r.ExD, 1/float64(f.n))
 	}
 	res.EDP = res.EnergyJ * res.MakespanS
-	if opt.Metrics != nil {
-		m := opt.Metrics
+	if f.opt.Metrics != nil {
+		m := f.opt.Metrics
 		m.Counter("fleet_runs_total").Add(1)
-		m.Counter("fleet_board_runs_total").Add(int64(n))
+		m.Counter("fleet_board_runs_total").Add(int64(f.n))
 		m.Counter("fleet_reallocations_total").Add(int64(res.Reallocations))
 	}
-	return res, nil
+	return res
 }
 
 // fleetTelemetry distills one board's state into the policy's view. Sensor

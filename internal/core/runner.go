@@ -68,6 +68,10 @@ type RunOptions struct {
 	// figures) set it so thousands of runs do not each retain a full
 	// time-series trace they never read.
 	SkipSeries bool
+	// Engine selects the simulation core ("" = EngineEvent). Both engines
+	// produce byte-identical results and traces; EngineLockstep is the
+	// reference implementation kept for differential testing.
+	Engine Engine
 	// Trace, when non-nil, receives one obs.Record per control interval:
 	// the sensor vector the controller saw, the commanded vs applied
 	// actuation, the supervisory state and detector pressures, the faults
@@ -130,36 +134,21 @@ func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*Ru
 		hp, _ = sess.(healthProbe)
 		fp, _ = sess.(flightProber)
 	}
-	var prevFaults fault.Stats
-	maxSteps := int(opt.MaxTime / opt.Interval)
-	var sensors board.Sensors
-	for i := 0; i < maxSteps && !w.Done(); i++ {
-		if inj != nil {
-			inj.Advance(b)
-		}
-		sensors = b.Run(w, opt.Interval)
-		var t0 time.Time
-		if observe {
-			t0 = time.Now()
-		}
-		sess.Step(sensors, b, w.Profile().Threads)
-		if observe {
-			latNS := time.Since(t0).Nanoseconds()
-			if lat != nil {
-				lat.Observe(float64(latNS) / 1e3)
-			}
-			if opt.Trace != nil {
-				recordInterval(opt.Trace, i, sensors, b, inj, &prevFaults, hp, fp, latNS)
-			}
-		}
-		if !opt.SkipSeries {
-			res.BigPower.Add(sensors.TimeS, sensors.BigPowerW)
-			res.LittlePower.Add(sensors.TimeS, sensors.LittlePowerW)
-			res.Perf.Add(sensors.TimeS, sensors.BIPS)
-			res.Temp.Add(sensors.TimeS, sensors.TempC)
-			res.BigFreq.Add(sensors.TimeS, b.EffectiveBigFreq())
-		}
+	eng, err := opt.Engine.resolve()
+	if err != nil {
+		return nil, err
 	}
+	r := &soloRun{
+		w: w, b: b, sess: sess, inj: inj, opt: &opt, res: res,
+		observe: observe, lat: lat, hp: hp, fp: fp,
+		maxSteps: int(opt.MaxTime / opt.Interval),
+	}
+	if eng == EngineLockstep {
+		r.runLockstep()
+	} else {
+		r.runEvent()
+	}
+	sensors := r.sensors
 	res.Completed = w.Done()
 	res.TimeS = b.TimeS()
 	res.EnergyJ = b.EnergyJ()

@@ -48,6 +48,10 @@ type Context struct {
 	// FleetBudgetW is the per-board share of the fleet power budget used by
 	// FleetSweep; 0 means DefaultFleetBoardBudgetW. See Options.FleetBudgetW.
 	FleetBudgetW float64
+
+	// Engine is the simulation core threaded into every run; see
+	// Options.Engine.
+	Engine core.Engine
 }
 
 // NewContext builds the platform (identification plus model fitting) with
@@ -73,6 +77,7 @@ func NewContextWithOptions(opt Options) (*Context, error) {
 		Supervise:    opt.Supervise,
 		TraceDir:     opt.TraceDir,
 		FleetBudgetW: opt.FleetBudgetW,
+		Engine:       opt.Engine,
 	}
 	if opt.Metrics {
 		c.Metrics = obs.NewRegistry()
@@ -99,19 +104,22 @@ func runOpts() core.RunOptions {
 
 // scalarOpts is runOpts for drivers that only consume scalar results
 // (energy, mean power, completion): the per-run series buffers are skipped
-// and the context's metrics registry is attached.
+// and the context's metrics registry and engine selection are attached.
 func (c *Context) scalarOpts() core.RunOptions {
 	opt := runOpts()
 	opt.SkipSeries = true
 	opt.Metrics = c.Metrics
+	opt.Engine = c.Engine
 	return opt
 }
 
-// traceOpts is runOpts with the context's metrics registry attached, keeping
-// the series buffers for drivers that plot signals over time.
+// traceOpts is runOpts with the context's metrics registry and engine
+// selection attached, keeping the series buffers for drivers that plot
+// signals over time.
 func (c *Context) traceOpts() core.RunOptions {
 	opt := runOpts()
 	opt.Metrics = c.Metrics
+	opt.Engine = c.Engine
 	return opt
 }
 

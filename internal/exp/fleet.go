@@ -160,6 +160,7 @@ func (c *Context) fleetOpts(n int, policyName, class string, boardBudgetW float6
 		Interval:    500 * time.Millisecond,
 		Parallelism: c.Parallelism,
 		Metrics:     c.Metrics,
+		Engine:      c.Engine,
 	}
 	if class != "clean" {
 		opt.Faults = fault.PresetClass(c.Seed, DefaultClassIntensity, class)

@@ -41,6 +41,12 @@ type Options struct {
 	// FleetBudgetW overrides the per-board share of the shared fleet power
 	// budget used by FleetSweep; 0 means DefaultFleetBoardBudgetW.
 	FleetBudgetW float64
+
+	// Engine selects the simulation core for every run the harness launches
+	// ("" = the event engine). Results and traces are byte-identical across
+	// engines; the lockstep engine exists for differential testing and
+	// engine benchmarking.
+	Engine core.Engine
 }
 
 // workers resolves the context's parallelism setting to a concrete count.

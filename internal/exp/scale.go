@@ -1,0 +1,311 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"yukta/internal/core"
+	"yukta/internal/fleet"
+	"yukta/internal/series"
+	"yukta/internal/workload"
+)
+
+// Fleet scaling-curve benchmark: wall-clock and EDP of both simulation
+// engines versus fleet size, on a done-heavy board mix. Half the boards run
+// a short workload that completes in roughly the first quarter of the run
+// and then sits quiescent; the other half run a long workload that never
+// completes before MaxTime. The mix is what separates the engines: both
+// step live boards identically, but the lockstep engine keeps dispatching
+// (and skipping) every done board on every control interval, while the
+// event engine drops finished boards off the clock entirely and batches
+// each live board's epoch into one cache-warm run.
+const (
+	// scaleMaxTime bounds one scale-point run (in simulated time).
+	scaleMaxTime = 120 * time.Second
+	// scaleShortGInst sizes the short app so it completes near the first
+	// quarter of the run at the default per-board budget; scaleLongGInst
+	// sizes the long app so it cannot complete before MaxTime.
+	scaleShortGInst = 100
+	scaleLongGInst  = 5000
+	// scaleWorkers is the benchmark's canonical pool width when the context
+	// does not pin one: the scaling curve measures the engines under pooled
+	// board stepping — the fleet runner's intended configuration, and the
+	// regime where the lockstep engine's per-interval barrier actually
+	// costs (spawn + channel rendezvous per interval, versus once per
+	// reallocation epoch on the event engine). Sequential stepping differs
+	// only by the done-board scan, which is noise next to board physics.
+	scaleWorkers = 4
+	// scaleReps runs each (engine, size) cell this many times and keeps the
+	// fastest wall-clock — standard minimum-of-k timing to shed scheduler
+	// noise. Repetitions alternate lockstep/event so a transient host load
+	// spike lands on both engines instead of biasing one cell. Simulation
+	// outputs are identical across reps by construction.
+	scaleReps = 5
+)
+
+// scaleApp builds one synthetic steady-phase board workload.
+func scaleApp(name string, gInst float64) (workload.Workload, error) {
+	return workload.NewApp(name, "SCALE", gInst, []workload.Phase{
+		{WorkFrac: 1.0, Threads: 8, MemBound: 0.25, IPCBig: 1.4, IPCLittle: 0.70},
+	})
+}
+
+// scaleMembers builds the done-heavy fleet: even boards short, odd boards
+// long, every board running the coordinated heuristic (the cheapest
+// controller, so the measurement exposes engine overhead rather than
+// controller arithmetic).
+func (c *Context) scaleMembers(n int) ([]core.FleetMember, error) {
+	sch := c.P.CoordinatedHeuristic()
+	members := make([]core.FleetMember, n)
+	for i := range members {
+		name, g := "scale-short", float64(scaleShortGInst)
+		if i%2 == 1 {
+			name, g = "scale-long", float64(scaleLongGInst)
+		}
+		w, err := scaleApp(name, g)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = core.FleetMember{Scheme: sch, Workload: w}
+	}
+	return members, nil
+}
+
+// FleetScalePoint is one (engine, fleet size) measurement.
+type FleetScalePoint struct {
+	Engine string `json:"engine"`
+	Boards int    `json:"boards"`
+	// WallMS is the host wall-clock of the fleet run in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Steps and Reallocations are the simulation's own counters (identical
+	// across engines — the engines differ in wall-clock, never in results).
+	Steps         int `json:"steps"`
+	Reallocations int `json:"reallocations"`
+	// MakespanS, EnergyJ and EDP summarize the simulated outcome.
+	MakespanS float64 `json:"makespan_s"`
+	EnergyJ   float64 `json:"energy_j"`
+	EDP       float64 `json:"edp_js"`
+	// DoneBoardFrac is the fraction of boards that completed before MaxTime;
+	// QuiescentFrac is the fraction of (board × clock-interval) slots that
+	// were quiescent — a done board sitting out the rest of the run. The
+	// scaling gate requires QuiescentFrac ≥ 0.25, the regime the event
+	// engine is built for.
+	DoneBoardFrac float64 `json:"done_board_frac"`
+	QuiescentFrac float64 `json:"quiescent_frac"`
+}
+
+// FleetScaleReport is the scaling-curve benchmark result across engines and
+// fleet sizes, with enough host context to interpret the wall-clocks.
+type FleetScaleReport struct {
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	NumCPU      int     `json:"num_cpu"`
+	Parallelism int     `json:"parallelism"`
+	MaxTimeS    float64 `json:"max_time_s"`
+	Scheme      string  `json:"scheme"`
+	Policy      string  `json:"policy"`
+	// Points holds, for every fleet size, the lockstep point followed by
+	// the event point.
+	Points []FleetScalePoint `json:"points"`
+}
+
+// scaleParallelism resolves the pool width of one scale run.
+func (c *Context) scaleParallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return scaleWorkers
+}
+
+// fleetScaleRun executes the done-heavy scale scenario once on the given
+// engine.
+func (c *Context) fleetScaleRun(n int, eng core.Engine) (*core.FleetResult, error) {
+	members, err := c.scaleMembers(n)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := fleet.NewPolicy("feedback")
+	if err != nil {
+		return nil, err
+	}
+	opt := core.FleetOptions{
+		Budget: fleet.Budget{
+			TotalW: DefaultFleetBoardBudgetW * float64(n),
+			MinW:   DefaultFleetMinCapW,
+			MaxW:   DefaultFleetMaxCapW,
+		},
+		Policy:      pol,
+		MaxTime:     scaleMaxTime,
+		Parallelism: c.scaleParallelism(),
+		Engine:      eng,
+	}
+	return core.FleetRun(c.P.Cfg, members, opt)
+}
+
+// FleetScaleRun executes the scaling benchmark's done-heavy scenario once on
+// the named engine ("event" or "lockstep"); BenchmarkFleetStep times it.
+func (c *Context) FleetScaleRun(n int, engine string) (*core.FleetResult, error) {
+	eng, err := core.ParseEngine(engine)
+	if err != nil {
+		return nil, err
+	}
+	return c.fleetScaleRun(n, eng)
+}
+
+// fleetScalePair times both engines at one fleet size, interleaving the
+// repetitions (lockstep, event, lockstep, event, ...) and keeping each
+// engine's fastest wall-clock.
+func (c *Context) fleetScalePair(n int) (lock, ev FleetScalePoint, err error) {
+	var lockRes, evRes *core.FleetResult
+	var lockWall, evWall time.Duration
+	for rep := 0; rep < scaleReps; rep++ {
+		start := time.Now()
+		lr, lerr := c.fleetScaleRun(n, core.EngineLockstep)
+		lw := time.Since(start)
+		if lerr != nil {
+			return lock, ev, fmt.Errorf("exp: fleet scale N=%d lockstep: %w", n, lerr)
+		}
+		if lockRes == nil || lw < lockWall {
+			lockRes, lockWall = lr, lw
+		}
+		start = time.Now()
+		er, eerr := c.fleetScaleRun(n, core.EngineEvent)
+		ew := time.Since(start)
+		if eerr != nil {
+			return lock, ev, fmt.Errorf("exp: fleet scale N=%d event: %w", n, eerr)
+		}
+		if evRes == nil || ew < evWall {
+			evRes, evWall = er, ew
+		}
+	}
+	lock = makeScalePoint(core.EngineLockstep, n, lockRes, lockWall)
+	ev = makeScalePoint(core.EngineEvent, n, evRes, evWall)
+	return lock, ev, nil
+}
+
+// makeScalePoint folds one cell's fastest run into its report row.
+func makeScalePoint(eng core.Engine, n int, res *core.FleetResult, wall time.Duration) FleetScalePoint {
+	pt := FleetScalePoint{
+		Engine:        string(eng),
+		Boards:        n,
+		WallMS:        float64(wall.Nanoseconds()) / 1e6,
+		Steps:         res.Steps,
+		Reallocations: res.Reallocations,
+		MakespanS:     res.MakespanS,
+		EnergyJ:       res.EnergyJ,
+		EDP:           res.EDP,
+	}
+	// Quiescence: a board's physics time advances only while it is stepped,
+	// so TimeS / interval is exactly the number of intervals it executed.
+	intervalS := 0.5
+	var executed float64
+	done := 0
+	for _, br := range res.Boards {
+		executed += br.TimeS / intervalS
+		if br.Completed {
+			done++
+		}
+	}
+	pt.DoneBoardFrac = float64(done) / float64(n)
+	if res.Steps > 0 {
+		pt.QuiescentFrac = 1 - executed/float64(n*res.Steps)
+	}
+	return pt
+}
+
+// FleetScale runs the scaling-curve benchmark over the given fleet sizes
+// (default {16, 64, 256}): for each size it times the identical done-heavy
+// fleet run on the lockstep and the event engine and cross-checks that the
+// simulated outcomes match exactly — the engines may only differ in
+// wall-clock.
+func (c *Context) FleetScale(ns []int) (*FleetScaleReport, error) {
+	if len(ns) == 0 {
+		ns = []int{16, 64, 256}
+	}
+	rep := &FleetScaleReport{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Parallelism: c.scaleParallelism(),
+		MaxTimeS:    scaleMaxTime.Seconds(),
+		Scheme:      "coordinated-heuristic",
+		Policy:      "feedback",
+	}
+	for _, n := range ns {
+		lock, ev, err := c.fleetScalePair(n)
+		if err != nil {
+			return nil, err
+		}
+		if lock.Steps != ev.Steps || lock.EDP != ev.EDP || lock.EnergyJ != ev.EnergyJ ||
+			lock.MakespanS != ev.MakespanS || lock.Reallocations != ev.Reallocations {
+			return nil, fmt.Errorf("exp: engines disagree at N=%d: lockstep %+v vs event %+v", n, lock, ev)
+		}
+		rep.Points = append(rep.Points, lock, ev)
+	}
+	return rep, nil
+}
+
+// Check enforces the scaling gate on the report's largest fleet size: the
+// scenario must be meaningfully done-heavy (≥25% quiescent board-intervals)
+// and the event engine must be strictly faster than lockstep there. Smaller
+// sizes are reported but not gated — at small N both engines are dominated
+// by board physics and the difference is noise-level.
+func (r *FleetScaleReport) Check() error {
+	if len(r.Points) < 2 {
+		return fmt.Errorf("exp: scale report has no points")
+	}
+	lock, ev := r.Points[len(r.Points)-2], r.Points[len(r.Points)-1]
+	if lock.Engine != string(core.EngineLockstep) || ev.Engine != string(core.EngineEvent) || lock.Boards != ev.Boards {
+		return fmt.Errorf("exp: malformed scale report tail: %+v, %+v", lock, ev)
+	}
+	if ev.QuiescentFrac < 0.25 {
+		return fmt.Errorf("exp: scale scenario at N=%d is only %.1f%% quiescent, want ≥25%%",
+			ev.Boards, 100*ev.QuiescentFrac)
+	}
+	if ev.WallMS >= lock.WallMS {
+		return fmt.Errorf("exp: event engine not faster at N=%d: %.1f ms vs lockstep %.1f ms",
+			ev.Boards, ev.WallMS, lock.WallMS)
+	}
+	return nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *FleetScaleReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render draws the scaling curve as an aligned table with the event/lockstep
+// speedup per fleet size.
+func (r *FleetScaleReport) Render() string {
+	tab := &series.Table{Header: []string{
+		"boards", "engine", "wall ms", "speedup", "steps", "quiescent", "done boards", "EDP J·s"}}
+	for i := 0; i < len(r.Points); i += 2 {
+		lock, ev := r.Points[i], r.Points[i+1]
+		tab.AddRow(fmt.Sprintf("%d", lock.Boards), lock.Engine,
+			fmt.Sprintf("%.1f", lock.WallMS), "1.00",
+			fmt.Sprintf("%d", lock.Steps),
+			fmt.Sprintf("%.0f%%", 100*lock.QuiescentFrac),
+			fmt.Sprintf("%.0f%%", 100*lock.DoneBoardFrac),
+			fmt.Sprintf("%.0f", lock.EDP))
+		speedup := 0.0
+		if ev.WallMS > 0 {
+			speedup = lock.WallMS / ev.WallMS
+		}
+		tab.AddRow("", ev.Engine,
+			fmt.Sprintf("%.1f", ev.WallMS), fmt.Sprintf("%.2f", speedup),
+			fmt.Sprintf("%d", ev.Steps),
+			fmt.Sprintf("%.0f%%", 100*ev.QuiescentFrac),
+			fmt.Sprintf("%.0f%%", 100*ev.DoneBoardFrac),
+			fmt.Sprintf("%.0f", ev.EDP))
+	}
+	var sb stringsBuilder
+	fmt.Fprintf(&sb, "Fleet scaling curve (%s/%s, %d CPUs, parallelism %d, %s scheme, %s policy, %.0f s simulated)\n",
+		r.GOOS, r.GOARCH, r.NumCPU, r.Parallelism, r.Scheme, r.Policy, r.MaxTimeS)
+	tab.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,129 @@
+// Package sched is the shared-clock discrete-event core under the simulation
+// runners: a deterministic min-heap of timed events keyed by (time, kind,
+// id). The engines in internal/core use it to advance a set of boards
+// without polling every board on every control interval — a board schedules
+// its next wake, and anything with no scheduled event simply does not exist
+// as far as the clock is concerned.
+//
+// Determinism is the design constraint. Events at the same instant pop in
+// (kind, id) order — coordinator events (reallocation, probes) before board
+// wakes, board wakes in board-index order — so the engine's behaviour is a
+// pure function of the event set, never of heap-internal layout or of which
+// worker finished first. The heap is allocation-free in steady state: Push
+// reuses the backing array (growing only past the initial capacity) and
+// PopBatch fills a caller-owned buffer, so the event path adds zero
+// allocations per simulated interval (gated by TestHeapZeroAlloc).
+package sched
+
+// Event is one scheduled wake on the shared clock.
+type Event struct {
+	// Time is the discrete time of the event, in control-interval indices
+	// since the start of the run.
+	Time int
+	// Kind orders events that share an instant: lower kinds run first. The
+	// engines use it to run coordinator events (budget reallocation, trace
+	// flushes, supervisor probes) before the board wakes they influence.
+	Kind int8
+	// ID breaks the final tie deterministically; the engines use the board
+	// index. Events identical in (Time, Kind, ID) are allowed and pop in an
+	// arbitrary order among themselves — callers must not schedule
+	// distinguishable work under fully identical keys.
+	ID int32
+}
+
+// less is the heap's total order: (Time, Kind, ID) lexicographically.
+func less(a, b Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.ID < b.ID
+}
+
+// Heap is a binary min-heap of Events. It is not safe for concurrent use:
+// the engines push and pop only from the coordination goroutine, between
+// worker-pool barriers — that single-threaded discipline is part of the
+// determinism contract, not an implementation accident.
+type Heap struct {
+	ev []Event
+}
+
+// NewHeap returns a heap with room for capacity events before the backing
+// array must grow.
+func NewHeap(capacity int) *Heap {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Heap{ev: make([]Event, 0, capacity)}
+}
+
+// Len returns the number of scheduled events.
+func (h *Heap) Len() int { return len(h.ev) }
+
+// MinTime returns the time of the earliest event. It must not be called on
+// an empty heap.
+func (h *Heap) MinTime() int { return h.ev[0].Time }
+
+// Push schedules e.
+func (h *Heap) Push(e Event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h.ev[i], h.ev[parent]) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event (ties broken by kind, then id).
+// It must not be called on an empty heap.
+func (h *Heap) Pop() Event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	h.siftDown(0)
+	return top
+}
+
+// siftDown restores the heap property from index i downward.
+func (h *Heap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && less(h.ev[l], h.ev[smallest]) {
+			smallest = l
+		}
+		if r < n && less(h.ev[r], h.ev[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+}
+
+// PopBatch removes every event scheduled at the earliest time and appends
+// them to buf (pass buf[:0] to reuse a buffer), returning the extended
+// slice in (kind, id) order. An empty heap returns buf unchanged. The
+// engines drain the clock one batch at a time: everything in a batch is
+// simultaneous, so ready board wakes may execute in parallel while
+// coordinator events have already run first.
+func (h *Heap) PopBatch(buf []Event) []Event {
+	if len(h.ev) == 0 {
+		return buf
+	}
+	t := h.ev[0].Time
+	for len(h.ev) > 0 && h.ev[0].Time == t {
+		buf = append(buf, h.Pop())
+	}
+	return buf
+}

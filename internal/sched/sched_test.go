@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHeapOrdering pushes a shuffled event set and requires pops to come out
+// in exact (time, kind, id) order — the determinism contract the engines
+// build on.
+func TestHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		events := make([]Event, n)
+		for i := range events {
+			events[i] = Event{
+				Time: rng.Intn(20),
+				Kind: int8(rng.Intn(3)),
+				ID:   int32(rng.Intn(30)),
+			}
+		}
+		h := NewHeap(n)
+		for _, e := range events {
+			h.Push(e)
+		}
+		want := append([]Event(nil), events...)
+		sort.SliceStable(want, func(i, j int) bool { return less(want[i], want[j]) })
+		for i, w := range want {
+			if h.Len() != n-i {
+				t.Fatalf("trial %d: Len = %d, want %d", trial, h.Len(), n-i)
+			}
+			if got := h.MinTime(); got != w.Time {
+				t.Fatalf("trial %d: MinTime = %d, want %d", trial, got, w.Time)
+			}
+			got := h.Pop()
+			if got.Time != w.Time || got.Kind != w.Kind {
+				t.Fatalf("trial %d pop %d: got %+v, want (time,kind)=(%d,%d)", trial, i, got, w.Time, w.Kind)
+			}
+			// IDs can collide with equal keys; require non-decreasing ID
+			// within an equal (time, kind) run.
+			if got.Time == w.Time && got.Kind == w.Kind && got.ID != w.ID {
+				// Equal-key events are interchangeable only if fully equal.
+				if less(got, w) || less(w, got) {
+					t.Fatalf("trial %d pop %d: got %+v, want %+v", trial, i, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestPopBatch requires PopBatch to drain exactly the earliest instant, in
+// (kind, id) order, reusing the caller's buffer.
+func TestPopBatch(t *testing.T) {
+	h := NewHeap(8)
+	h.Push(Event{Time: 3, Kind: 1, ID: 0})
+	h.Push(Event{Time: 1, Kind: 2, ID: 7})
+	h.Push(Event{Time: 1, Kind: 0, ID: 3})
+	h.Push(Event{Time: 1, Kind: 2, ID: 2})
+	h.Push(Event{Time: 2, Kind: 0, ID: 1})
+
+	buf := make([]Event, 0, 8)
+	got := h.PopBatch(buf[:0])
+	want := []Event{{1, 0, 3}, {1, 2, 2}, {1, 2, 7}}
+	if len(got) != len(want) {
+		t.Fatalf("batch = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got := h.PopBatch(buf[:0]); len(got) != 1 || got[0] != (Event{2, 0, 1}) {
+		t.Fatalf("second batch = %v", got)
+	}
+	if got := h.PopBatch(buf[:0]); len(got) != 1 || got[0] != (Event{3, 1, 0}) {
+		t.Fatalf("third batch = %v", got)
+	}
+	if got := h.PopBatch(buf[:0]); len(got) != 0 {
+		t.Fatalf("empty heap returned %v", got)
+	}
+}
+
+// TestHeapZeroAlloc is the allocs-per-event gate for the engine hot path: a
+// heap operating within its initial capacity must not allocate on Push, Pop
+// or PopBatch. CI runs this alongside the controller-step 0 allocs/op gate.
+func TestHeapZeroAlloc(t *testing.T) {
+	h := NewHeap(64)
+	buf := make([]Event, 0, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			h.Push(Event{Time: i % 5, Kind: int8(i % 3), ID: int32(i)})
+		}
+		for h.Len() > 0 {
+			buf = h.PopBatch(buf[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("heap path allocates %.1f times per push/pop cycle, want 0", allocs)
+	}
+}
+
+// BenchmarkEventHeap measures the per-event cost of the heap path (push one
+// wake, pop one batch) — the fixed overhead the event engine adds per board
+// epoch. Run with -benchmem: the report must show 0 allocs/op.
+func BenchmarkEventHeap(b *testing.B) {
+	h := NewHeap(1024)
+	buf := make([]Event, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			h.Push(Event{Time: i + j%8, Kind: int8(j % 3), ID: int32(j)})
+		}
+		for h.Len() > 0 {
+			buf = h.PopBatch(buf[:0])
+		}
+	}
+}
