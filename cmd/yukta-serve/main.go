@@ -1,0 +1,232 @@
+// Command yukta-serve hosts the controller stack as a long-running
+// multi-tenant HTTP service: concurrent board sessions created, stepped,
+// tripped and traced over a small JSON API (docs/API.md), with per-tenant
+// admission control and a graceful SIGTERM drain that walks every live
+// session through the supervisory staged fallback.
+//
+// Usage:
+//
+//	yukta-serve                          # listen on :8871
+//	yukta-serve -addr :9000 -max-sessions 16
+//	yukta-serve -tenant-rate 2 -tenant-burst 4
+//	yukta-serve -smoke                   # self-test: serve+exercise+drain, then exit
+//
+// See docs/OPERATIONS.md for the operator's guide (metrics, pprof, drain
+// runbook) and docs/API.md for the endpoint reference.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"yukta/internal/board"
+	"yukta/internal/core"
+	"yukta/internal/obs"
+	"yukta/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8871", "listen address")
+		maxSessions = flag.Int("max-sessions", 64, "global cap on concurrently open sessions")
+		tenantRate  = flag.Float64("tenant-rate", 4, "per-tenant session-creation rate (sessions/s; negative disables)")
+		tenantBurst = flag.Int("tenant-burst", 8, "per-tenant creation burst (token-bucket capacity)")
+		drainSteps  = flag.Int("drain-steps", 20, "control intervals each live session settles under the fallback during drain")
+		drainPar    = flag.Int("drain-parallel", 0, "drain worker fan-out (0 = NumCPU)")
+		maxStep     = flag.Int("max-step", 10000, "cap on intervals per step request")
+		smoke       = flag.Bool("smoke", false, "self-test: start the daemon, exercise the API end to end, drain, exit")
+	)
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "yukta-serve: building platform (identification + synthesis)...")
+	p, err := core.NewPlatform(board.DefaultConfig(), core.DefaultIdentifyOptions())
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Platform:           p,
+		MaxSessions:        *maxSessions,
+		TenantRate:         *tenantRate,
+		TenantBurst:        *tenantBurst,
+		DrainSteps:         *drainSteps,
+		DrainParallelism:   *drainPar,
+		MaxStepsPerRequest: *maxStep,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv.Registry().Publish("yukta")
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			fatal(fmt.Errorf("smoke: %w", err))
+		}
+		fmt.Println("yukta-serve: smoke OK")
+		return
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		fmt.Fprintf(os.Stderr, "yukta-serve: listening on %s\n", *addr)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+
+	// SIGTERM/SIGINT: stop admitting, walk every live session through the
+	// supervisory staged fallback, then close the listener.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+	fmt.Fprintln(os.Stderr, "yukta-serve: draining...")
+	rep := srv.Drain(context.Background())
+	fmt.Fprintf(os.Stderr, "yukta-serve: drained %d/%d sessions (%d tripped to fallback, %d already finished)\n",
+		rep.Drained, rep.Sessions, rep.Tripped, rep.Finished)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+// runSmoke is the CI self-test: serve on a loopback ephemeral port, drive
+// the full session lifecycle as an HTTP client (create, step to completion,
+// trip a supervised session, validate the streamed trace), then drain and
+// verify zero drops.
+func runSmoke(srv *serve.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "yukta-serve: smoke daemon on %s\n", base)
+
+	// Create a supervised session and a plain one.
+	var sup, plain struct {
+		ID         string `json:"id"`
+		Supervised bool   `json:"supervised"`
+	}
+	if err := call("POST", base+"/v1/sessions",
+		`{"scheme":"yukta-supervised","app":"gamess","fault_class":"all","fault_seed":7,"fault_intensity":1,"max_time_s":30}`,
+		&sup, http.StatusCreated); err != nil {
+		return err
+	}
+	if !sup.Supervised {
+		return fmt.Errorf("supervised session not reported supervised")
+	}
+	if err := call("POST", base+"/v1/sessions",
+		`{"scheme":"coordinated","app":"mcf","max_time_s":10}`, &plain, http.StatusCreated); err != nil {
+		return err
+	}
+
+	// Step the plain session to completion; partially step the supervised
+	// one and force a trip.
+	var sr struct {
+		Done     bool   `json:"done"`
+		SupState string `json:"sup_state"`
+	}
+	for i := 0; !sr.Done; i++ {
+		if err := call("POST", base+"/v1/sessions/"+plain.ID+"/step", `{"steps":50}`, &sr, http.StatusOK); err != nil {
+			return err
+		}
+		if i > 1000 {
+			return fmt.Errorf("plain session never finished")
+		}
+	}
+	if err := call("POST", base+"/v1/sessions/"+sup.ID+"/step", `{"steps":10}`, nil, http.StatusOK); err != nil {
+		return err
+	}
+	if err := call("POST", base+"/v1/sessions/"+sup.ID+"/trip", "", nil, http.StatusOK); err != nil {
+		return err
+	}
+	var after struct {
+		SupState string `json:"sup_state"`
+	}
+	if err := call("POST", base+"/v1/sessions/"+sup.ID+"/step", `{"steps":1}`, &after, http.StatusOK); err != nil {
+		return err
+	}
+	if after.SupState != "fallback" {
+		return fmt.Errorf("post-trip state %q, want fallback", after.SupState)
+	}
+
+	// The streamed trace must validate against the flight-record schema.
+	resp, err := http.Get(base + "/v1/sessions/" + sup.ID + "/trace")
+	if err != nil {
+		return err
+	}
+	trace, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	n, err := obs.ValidateJSONL(bytes.NewReader(trace))
+	if err != nil {
+		return fmt.Errorf("trace invalid after %d records: %w", n, err)
+	}
+	fmt.Fprintf(os.Stderr, "yukta-serve: smoke trace valid (%d records)\n", n)
+
+	// Metrics must render as JSON and carry the serve counters.
+	var metrics map[string]any
+	if err := call("GET", base+"/v1/metrics", "", &metrics, http.StatusOK); err != nil {
+		return err
+	}
+	if _, ok := metrics["serve_sessions_created_total/default"]; !ok {
+		return fmt.Errorf("metrics missing serve_sessions_created_total/default")
+	}
+
+	// Drain: zero drops, then clean shutdown.
+	rep := srv.Drain(context.Background())
+	if rep.Drained != rep.Sessions {
+		return fmt.Errorf("drain dropped sessions: %+v", rep)
+	}
+	fmt.Fprintf(os.Stderr, "yukta-serve: smoke drain %d/%d (tripped=%d finished=%d)\n",
+		rep.Drained, rep.Sessions, rep.Tripped, rep.Finished)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(ctx)
+}
+
+// call issues one JSON request, checks the status, and decodes into out.
+func call(method, url, body string, out any, want int) error {
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, want, raw)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "yukta-serve:", err)
+	os.Exit(1)
+}

@@ -8,11 +8,22 @@
 //	yukta-sim -app mcf -scheme coordinated -trace
 //	yukta-sim -app gamess -scheme yukta-supervised -faults 2 -record run.jsonl
 //	yukta-sim -list
+//
+// With -via, the same run executes inside a running yukta-serve daemon
+// instead of in-process: the CLI creates a session, steps it to completion
+// over HTTP, and prints the hosted result. Determinism survives hosting, so
+// -record captures a trace byte-identical to the local run's:
+//
+//	yukta-sim -via http://localhost:8871 -app gamess -scheme yukta-supervised -faults 1 -record run.jsonl
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -43,6 +54,7 @@ func main() {
 		faultSeed = flag.Int64("faultseed", 1, "base seed of the injected fault campaign")
 		record    = flag.String("record", "", "write the flight-recorder decision log to this JSONL path and print its timeline")
 		engine    = flag.String("engine", "", "simulation engine: event (default) or lockstep; both are byte-identical in results and traces")
+		via       = flag.String("via", "", "base URL of a running yukta-serve daemon; runs the session there instead of in-process")
 		list      = flag.Bool("list", false, "list workloads and schemes")
 	)
 	flag.Parse()
@@ -57,6 +69,16 @@ func main() {
 		fmt.Println("training: ", yukta.TrainingApps())
 		fmt.Println("mixes:    blmc stga blst mcga")
 		fmt.Println("schemes:  coordinated decoupled yukta-hw yukta-full yukta-supervised lqg-mono lqg-decoupled")
+		return
+	}
+
+	if *via != "" {
+		if *trace || *noise > 0 {
+			fatal(fmt.Errorf("-trace and -noise are local-only; the hosted path runs scalar sessions"))
+		}
+		if err := runVia(*via, *scheme, *app, *engine, *maxTime, *faults, *faultSeed, *record); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -116,6 +138,139 @@ func main() {
 		fmt.Println(res.Perf.RenderASCII(76, 10))
 		fmt.Println(res.Temp.RenderASCII(76, 10))
 	}
+}
+
+// runVia executes the run inside a yukta-serve daemon: create a session with
+// the same tuple the local path would use, step it to completion over HTTP,
+// print the hosted result, and optionally download the trace. The daemon's
+// trace is byte-identical to the local run's (the serve package's
+// determinism gate), so -record output is interchangeable between paths.
+func runVia(base, scheme, app, engine string, maxTime time.Duration, faults float64, faultSeed int64, record string) error {
+	createBody := map[string]any{
+		"scheme":     scheme,
+		"app":        app,
+		"max_time_s": maxTime.Seconds(),
+	}
+	if engine != "" {
+		createBody["engine"] = engine
+	}
+	if faults > 0 {
+		// The local path's -faults intensity is the full campaign: class
+		// "all" on the hosted API.
+		createBody["fault_class"] = "all"
+		createBody["fault_intensity"] = faults
+		createBody["fault_seed"] = faultSeed
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := apiCall(base, "POST", "/v1/sessions", createBody, &info, http.StatusCreated); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "session %s on %s\n", info.ID, base)
+
+	var step struct {
+		Done bool `json:"done"`
+	}
+	for i := 0; !step.Done; i++ {
+		if err := apiCall(base, "POST", "/v1/sessions/"+info.ID+"/step", map[string]any{"steps": 500}, &step, http.StatusOK); err != nil {
+			return err
+		}
+		if i > 100000 {
+			return fmt.Errorf("session %s never finished", info.ID)
+		}
+	}
+
+	var fin struct {
+		Scheme   string `json:"scheme"`
+		App      string `json:"app"`
+		SupState string `json:"sup_state"`
+		Result   struct {
+			Completed      bool    `json:"completed"`
+			TimeS          float64 `json:"time_s"`
+			EnergyJ        float64 `json:"energy_j"`
+			ExDJS          float64 `json:"exd_js"`
+			Emergencies    int     `json:"emergencies"`
+			FaultsInjected int     `json:"faults_injected"`
+			Trips          int     `json:"trips"`
+			Recoveries     int     `json:"recoveries"`
+		} `json:"result"`
+	}
+	if err := apiCall(base, "GET", "/v1/sessions/"+info.ID, nil, &fin, http.StatusOK); err != nil {
+		return err
+	}
+	fmt.Printf("app=%s scheme=%q (hosted)\n", fin.App, fin.Scheme)
+	fmt.Printf("completed=%v time=%.1fs energy=%.1fJ ExD=%.0fJ·s emergencies=%d\n",
+		fin.Result.Completed, fin.Result.TimeS, fin.Result.EnergyJ, fin.Result.ExDJS, fin.Result.Emergencies)
+	if fin.SupState != "" {
+		fmt.Printf("supervisor: trips=%d recoveries=%d state=%s\n",
+			fin.Result.Trips, fin.Result.Recoveries, fin.SupState)
+	}
+	if fin.Result.FaultsInjected > 0 {
+		fmt.Printf("faults injected: %d\n", fin.Result.FaultsInjected)
+	}
+
+	if record != "" {
+		resp, err := http.Get(base + "/v1/sessions/" + info.ID + "/trace")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("trace: status %d", resp.StatusCode)
+		}
+		if dir := filepath.Dir(record); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		f, err := os.Create(record)
+		if err != nil {
+			return err
+		}
+		n, cErr := io.Copy(f, resp.Body)
+		if err := f.Close(); cErr == nil {
+			cErr = err
+		}
+		if cErr != nil {
+			return cErr
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", record, n)
+	}
+	// Free the daemon's session slot.
+	return apiCall(base, "DELETE", "/v1/sessions/"+info.ID, nil, nil, http.StatusOK)
+}
+
+// apiCall issues one JSON request against the daemon.
+func apiCall(base, method, path string, body, out any, want int) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s %s: status %d (want %d): %s", method, path, resp.StatusCode, want, raw)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
 }
 
 // writeRecord persists the flight recorder's decision log as JSONL.

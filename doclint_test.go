@@ -26,6 +26,8 @@ var doclintPackages = []string{
 	"internal/series",
 	"internal/fleet",
 	"internal/pool",
+	"internal/sched",
+	"internal/serve",
 }
 
 // TestExportedIdentifiersDocumented fails on any exported identifier —

@@ -79,6 +79,10 @@ type soloRun struct {
 
 	prevFaults fault.Stats
 	sensors    board.Sensors
+
+	// counted latches countOnce so a run folds into the metrics registry at
+	// most once, however many times its result is finalized.
+	counted bool
 }
 
 // step executes control interval i: advance the fault injector, run the

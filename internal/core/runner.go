@@ -89,15 +89,40 @@ type RunOptions struct {
 // Run executes the workload to completion (or MaxTime) under the scheme on a
 // fresh board and returns the measured result.
 func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*RunResult, error) {
+	r, eng, err := newSoloRun(cfg, sch, w, opt)
+	if err != nil {
+		return nil, err
+	}
+	if eng == EngineLockstep {
+		r.runLockstep()
+	} else {
+		r.runEvent()
+	}
+	res := r.finalize()
+	r.countOnce()
+	return res, nil
+}
+
+// newSoloRun performs the shared run setup — scheme instantiation, fault
+// stream derivation, board construction, observation taps, engine
+// resolution — for both the batch Run path and the incrementally driven
+// StepRun path. The two paths execute the identical soloRun.step interval
+// body afterwards, which is what makes a hosted session's trace
+// byte-identical to the batch run of the same options.
+func newSoloRun(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*soloRun, Engine, error) {
 	if opt.MaxTime <= 0 {
 		opt.MaxTime = 1200 * time.Second
 	}
 	if opt.Interval <= 0 {
 		opt.Interval = 500 * time.Millisecond
 	}
+	eng, err := opt.Engine.resolve()
+	if err != nil {
+		return nil, "", err
+	}
 	sess, err := sch.New()
 	if err != nil {
-		return nil, fmt.Errorf("core: building scheme %q: %w", sch.Name, err)
+		return nil, "", fmt.Errorf("core: building scheme %q: %w", sch.Name, err)
 	}
 	var inj *fault.Injector
 	if opt.Faults.Enabled() {
@@ -134,38 +159,42 @@ func Run(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*Ru
 		hp, _ = sess.(healthProbe)
 		fp, _ = sess.(flightProber)
 	}
-	eng, err := opt.Engine.resolve()
-	if err != nil {
-		return nil, err
-	}
 	r := &soloRun{
 		w: w, b: b, sess: sess, inj: inj, opt: &opt, res: res,
 		observe: observe, lat: lat, hp: hp, fp: fp,
 		maxSteps: int(opt.MaxTime / opt.Interval),
 	}
-	if eng == EngineLockstep {
-		r.runLockstep()
-	} else {
-		r.runEvent()
-	}
-	sensors := r.sensors
+	return r, eng, nil
+}
+
+// finalize distills the run's current state into its RunResult. It is the
+// shared epilogue of Run and StepRun.Result and is safe to call mid-run (the
+// serve layer reports live results); folding into the metrics registry is
+// countOnce's job, so repeated finalize calls never double-count.
+func (r *soloRun) finalize() *RunResult {
+	res, b, w := r.res, r.b, r.w
 	res.Completed = w.Done()
 	res.TimeS = b.TimeS()
 	res.EnergyJ = b.EnergyJ()
 	res.ExD = res.EnergyJ * res.TimeS
-	res.EmergencyEvents = sensors.EmergencyEvents
-	res.IntervalS = opt.Interval.Seconds()
-	if inj != nil {
-		res.Faults = inj.Stats()
+	res.EmergencyEvents = r.sensors.EmergencyEvents
+	res.IntervalS = r.opt.Interval.Seconds()
+	if r.inj != nil {
+		res.Faults = r.inj.Stats()
 	}
-	if sr, ok := sess.(SupervisorReporter); ok {
+	if sr, ok := r.sess.(SupervisorReporter); ok {
 		st := sr.SupervisorStats()
 		res.Supervisor = &st
 	}
-	if opt.Metrics != nil {
-		countRun(opt.Metrics, res)
+	return res
+}
+
+// countOnce folds the finished run into the metrics registry, at most once.
+func (r *soloRun) countOnce() {
+	if r.opt.Metrics != nil && !r.counted {
+		r.counted = true
+		countRun(r.opt.Metrics, r.res)
 	}
-	return res, nil
 }
 
 // recordInterval distills one control interval into an obs.Record and

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"yukta/internal/board"
+	"yukta/internal/supervisor"
+	"yukta/internal/workload"
+)
+
+// StepRun is an incrementally driven run: the same setup, interval body and
+// epilogue as the batch Run, but advanced by explicit Step calls instead of
+// running to completion. It is the session primitive the yukta-serve daemon
+// hosts — a long-running service owns many StepRuns and advances each on
+// request.
+//
+// Determinism survives hosting: a StepRun advanced in arbitrary chunk sizes
+// executes exactly the soloRun.step interval sequence the batch engines
+// execute, so its RunResult scalars and attached obs.Recorder trace are
+// byte-identical to Run with the same options (gated by
+// TestStepRunMatchesBatch and the serve package's determinism test).
+//
+// A StepRun is not safe for concurrent use; like a controller session, it
+// belongs to one owner (the serve layer serializes access per session).
+type StepRun struct {
+	r    *soloRun
+	next int
+}
+
+// NewStepRun builds an incrementally driven run from the same inputs as Run.
+// The Engine option is validated for parity with the batch path but does not
+// change scheduling here: a hosted session has exactly one board, for which
+// both engines degenerate to the same per-interval sequence (see
+// soloRun.runEvent).
+func NewStepRun(cfg board.Config, sch Scheme, w workload.Workload, opt RunOptions) (*StepRun, error) {
+	r, _, err := newSoloRun(cfg, sch, w, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &StepRun{r: r}, nil
+}
+
+// Step advances the run by up to n control intervals, stopping early at
+// workload completion or the MaxTime step bound, and returns how many
+// intervals actually executed (0 when the run is already finished, or when
+// n <= 0).
+func (s *StepRun) Step(n int) int {
+	done := 0
+	for ; done < n && s.next < s.r.maxSteps && !s.r.w.Done(); done++ {
+		s.r.step(s.next)
+		s.next++
+	}
+	return done
+}
+
+// Steps returns the number of control intervals executed so far.
+func (s *StepRun) Steps() int { return s.next }
+
+// MaxSteps returns the step bound implied by RunOptions.MaxTime and the
+// control interval.
+func (s *StepRun) MaxSteps() int { return s.r.maxSteps }
+
+// Done reports whether the run is finished: the workload completed or the
+// MaxTime step bound was reached.
+func (s *StepRun) Done() bool { return s.r.w.Done() || s.next >= s.r.maxSteps }
+
+// Supervised reports whether the run's scheme carries the supervisory safety
+// layer (and therefore supports ForceTrip).
+func (s *StepRun) Supervised() bool {
+	_, ok := s.r.sess.(tripForcer)
+	return ok
+}
+
+// ForceTrip arms an operator-forced supervisor trip: the next interval runs
+// under the fallback with a bumpless transfer, exactly as a detector-
+// confirmed trip would (supervisor.CauseOperator). It reports false when the
+// scheme is unsupervised or the run is already finished. The serve layer's
+// graceful drain and its POST /v1/sessions/{id}/trip endpoint both ride this
+// path.
+func (s *StepRun) ForceTrip() bool {
+	tf, ok := s.r.sess.(tripForcer)
+	if !ok || s.Done() {
+		return false
+	}
+	tf.forceTrip()
+	return true
+}
+
+// SupervisorState returns the supervisory state the next interval would run
+// under, and true, for supervised schemes; the zero State and false
+// otherwise.
+func (s *StepRun) SupervisorState() (supervisor.State, bool) {
+	sp, ok := s.r.sess.(stateProber)
+	if !ok {
+		return 0, false
+	}
+	return sp.supervisorState(), true
+}
+
+// Result finalizes and returns the run's measurements so far. It may be
+// called at any point — the serve layer reports it live while a session is
+// still being stepped — but the canonical read is after Done; only a Done
+// run folds into the attached metrics registry (once).
+func (s *StepRun) Result() *RunResult {
+	res := s.r.finalize()
+	if s.Done() {
+		s.r.countOnce()
+	}
+	return res
+}

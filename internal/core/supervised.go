@@ -47,6 +47,20 @@ type flightProber interface {
 	flightProbe() supervisor.Probe
 }
 
+// tripForcer is implemented by supervised sessions whose trip can be forced
+// by an operator (StepRun.ForceTrip → the serve layer's trip endpoint and
+// graceful drain): the next interval runs under the fallback with the same
+// bumpless transfer a detector-confirmed trip performs.
+type tripForcer interface {
+	forceTrip()
+}
+
+// stateProber is implemented by supervised sessions; it exposes the
+// supervisory state the next interval runs under (StepRun.SupervisorState).
+type stateProber interface {
+	supervisorState() supervisor.State
+}
+
 // SupervisorReporter is implemented by supervised sessions; the runner uses
 // it to surface the supervisory accounting in RunResult.
 type SupervisorReporter interface {
@@ -91,6 +105,11 @@ type supervisedSession struct {
 	// the armed clamp's frequency ceilings (NaN while disarmed).
 	blockRaise       bool
 	ceilBig, ceilLit float64
+
+	// pendingForce arms an operator-forced trip (forceTrip): the next Step
+	// performs the transfer before the interval runs, so the interval
+	// executes under the fallback and its record carries the trip.
+	pendingForce bool
 }
 
 // stalePower reports whether both raw power readings repeat the previous
@@ -109,6 +128,18 @@ func (v *supervisedSession) stalePower(s board.Sensors) bool {
 func (v *supervisedSession) Step(s board.Sensors, b *board.Board, threads int) {
 	san, finite := v.sanitize(s)
 	cfg := v.mon.Config()
+	forced := false
+	if v.pendingForce {
+		v.pendingForce = false
+		if v.mon.State() != supervisor.Fallback {
+			// Operator-forced trip: transfer authority before this interval
+			// runs, with the same bumpless hand-off a detector-confirmed trip
+			// performs, so the interval executes under the fallback.
+			v.mon.ForceTrip(supervisor.CauseOperator)
+			v.bumplessTransfer(b, cfg)
+			forced = true
+		}
+	}
 	smp := supervisor.Sample{
 		SensorsFinite:    finite,
 		PowerStale:       v.stalePower(s),
@@ -177,26 +208,16 @@ func (v *supervisedSession) Step(s board.Sensors, b *board.Board, threads int) {
 	}
 	act := v.mon.Observe(smp)
 	v.lastRan, v.lastAct = state, act
+	if forced {
+		// The forced trip happened before this interval ran; surface it on
+		// this interval's flight record so summing sup_tripped over a run
+		// still reproduces supervisor.Stats.Trips exactly.
+		v.lastAct.Tripped = true
+		v.lastAct.Cause = supervisor.CauseOperator
+	}
 	v.blockRaise = act.BlockRaise
 	if act.Tripped {
-		// Bumpless transfer to the fallback. The heuristic's HW layer is
-		// relative by construction (it moves frequency from the board's
-		// current value), so the frequency path needs no state hand-off —
-		// but its conservative ceiling is pinned a mild derate below the
-		// frequencies in effect right now (post-throttle), and the OS
-		// scheduler's rate-limited placement state is seeded from the split
-		// in effect. The derate is the safety posture: the trip-time point
-		// is whatever the sick controller last commanded, and the fallback
-		// should shed its aggression, not preserve it.
-		bcfg := b.Config()
-		derate := float64(cfg.FallbackDerateSteps)
-		ceil := func(eff, step, min float64) float64 {
-			return math.Max(eff-derate*step, min)
-		}
-		v.fbHW.SeedCeiling(
-			ceil(b.EffectiveBigFreq(), bcfg.Big.FreqStepGHz, bcfg.Big.FreqMinGHz),
-			ceil(b.EffectiveLittleFreq(), bcfg.Little.FreqStepGHz, bcfg.Little.FreqMinGHz))
-		v.fbOS.SeedPlacement(b.Placement().ThreadsBig)
+		v.bumplessTransfer(b, cfg)
 	}
 	if act.Reengage {
 		if r, ok := v.primary.(reseedable); ok {
@@ -204,6 +225,35 @@ func (v *supervisedSession) Step(s board.Sensors, b *board.Board, threads int) {
 		}
 	}
 }
+
+// bumplessTransfer seeds the fallback from the operating point in effect
+// right now — the hand-off performed on every transfer of authority, whether
+// detector-confirmed or operator-forced. The heuristic's HW layer is
+// relative by construction (it moves frequency from the board's current
+// value), so the frequency path needs no state hand-off — but its
+// conservative ceiling is pinned a mild derate below the frequencies in
+// effect (post-throttle), and the OS scheduler's rate-limited placement
+// state is seeded from the split in effect. The derate is the safety
+// posture: the trip-time point is whatever the sick controller last
+// commanded, and the fallback should shed its aggression, not preserve it.
+func (v *supervisedSession) bumplessTransfer(b *board.Board, cfg supervisor.Config) {
+	bcfg := b.Config()
+	derate := float64(cfg.FallbackDerateSteps)
+	ceil := func(eff, step, min float64) float64 {
+		return math.Max(eff-derate*step, min)
+	}
+	v.fbHW.SeedCeiling(
+		ceil(b.EffectiveBigFreq(), bcfg.Big.FreqStepGHz, bcfg.Big.FreqMinGHz),
+		ceil(b.EffectiveLittleFreq(), bcfg.Little.FreqStepGHz, bcfg.Little.FreqMinGHz))
+	v.fbOS.SeedPlacement(b.Placement().ThreadsBig)
+}
+
+// forceTrip implements tripForcer: arm an operator-forced trip for the next
+// interval.
+func (v *supervisedSession) forceTrip() { v.pendingForce = true }
+
+// supervisorState implements stateProber.
+func (v *supervisedSession) supervisorState() supervisor.State { return v.mon.State() }
 
 // SupervisorStats implements SupervisorReporter.
 func (v *supervisedSession) SupervisorStats() supervisor.Stats { return v.mon.Stats() }

@@ -235,6 +235,19 @@ func ClassNames() []string {
 	return []string{"noise", "dropout", "actuator", "thermal", "phase", "all"}
 }
 
+// ValidClass reports whether name is one of the isolated fault-class presets
+// PresetClass accepts (see ClassNames). Boundary layers — the serve daemon's
+// session-create endpoint — use it to reject unknown classes with an error
+// instead of PresetClass's silent empty plan.
+func ValidClass(name string) bool {
+	for _, c := range ClassNames() {
+		if name == c {
+			return true
+		}
+	}
+	return false
+}
+
 // PresetClass returns the Preset plan at intensity s restricted to a single
 // fault class ("all" returns the full preset; see ClassNames). Unknown class
 // names return the empty plan. Isolating classes is how the supervised

@@ -43,7 +43,8 @@ type fieldSpec[T any] struct {
 var (
 	stateEnum = []string{"", "nominal", "suspect", "fallback", "recovering"}
 	causeEnum = []string{"", "non-finite", "guardband", "rail-pinned",
-		"divergence", "chatter", "dropout", "actuation-fault", "throttle-storm"}
+		"divergence", "chatter", "dropout", "actuation-fault", "throttle-storm",
+		"operator"}
 )
 
 // intF, floatF, boolF and strF build fieldSpecs for the four kinds.

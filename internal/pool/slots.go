@@ -1,0 +1,54 @@
+package pool
+
+import "sync"
+
+// Slots is a bounded slot counter — the serving-side face of the pool's
+// bounding discipline. Where ForEach bounds how many of a known job set run
+// at once, Slots bounds how many long-lived occupants (yukta-serve board
+// sessions) exist at once: Acquire is non-blocking admission, not queueing,
+// because an over-capacity session request must be rejected at the front
+// door (HTTP 429/503), never parked. All methods are safe for concurrent
+// use.
+type Slots struct {
+	mu    sync.Mutex
+	inUse int
+	cap   int
+}
+
+// NewSlots returns a slot counter admitting at most capacity concurrent
+// occupants (capacity <= 0 admits nobody).
+func NewSlots(capacity int) *Slots {
+	return &Slots{cap: capacity}
+}
+
+// Acquire claims one slot, reporting false (and claiming nothing) when all
+// slots are occupied.
+func (s *Slots) Acquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inUse >= s.cap {
+		return false
+	}
+	s.inUse++
+	return true
+}
+
+// Release returns one slot. Releasing more than was acquired is a caller
+// bug; the count is floored at zero so the pool stays usable.
+func (s *Slots) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inUse > 0 {
+		s.inUse--
+	}
+}
+
+// InUse returns the number of occupied slots.
+func (s *Slots) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse
+}
+
+// Cap returns the slot capacity.
+func (s *Slots) Cap() int { return s.cap }

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"yukta/internal/obs"
+)
+
+// httpExample is one parsed ```http block of docs/API.md: a request, the
+// expected status, and the expected response structure.
+type httpExample struct {
+	line     int // 1-based line of the block's opening fence, for messages
+	method   string
+	path     string
+	reqBody  string
+	status   int
+	respBody string
+}
+
+// parseAPIDoc extracts every ```http block from the markdown source. Block
+// grammar: "METHOD /path", optional request-body lines, a blank line, the
+// expected status code, then the expected response body (a leading "<"
+// marks a JSONL stream to schema-validate instead of a JSON document).
+func parseAPIDoc(t *testing.T, src string) []httpExample {
+	t.Helper()
+	var out []httpExample
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```http" {
+			continue
+		}
+		start := i + 1
+		end := start
+		for end < len(lines) && strings.TrimSpace(lines[end]) != "```" {
+			end++
+		}
+		if end == len(lines) {
+			t.Fatalf("docs/API.md line %d: unterminated ```http block", i+1)
+		}
+		block := lines[start:end]
+		i = end
+
+		ex := httpExample{line: start}
+		if len(block) == 0 {
+			t.Fatalf("docs/API.md line %d: empty http block", start)
+		}
+		method, path, ok := strings.Cut(strings.TrimSpace(block[0]), " ")
+		if !ok {
+			t.Fatalf("docs/API.md line %d: want \"METHOD /path\", got %q", start+1, block[0])
+		}
+		ex.method, ex.path = method, path
+
+		rest := block[1:]
+		blank := -1
+		for j, l := range rest {
+			if strings.TrimSpace(l) == "" {
+				blank = j
+				break
+			}
+		}
+		if blank < 0 {
+			t.Fatalf("docs/API.md line %d: http block has no blank line before the status", start+1)
+		}
+		ex.reqBody = strings.TrimSpace(strings.Join(rest[:blank], "\n"))
+		after := rest[blank+1:]
+		if len(after) == 0 {
+			t.Fatalf("docs/API.md line %d: http block missing the expected status", start+1)
+		}
+		status, err := strconv.Atoi(strings.TrimSpace(after[0]))
+		if err != nil {
+			t.Fatalf("docs/API.md line %d: expected status line, got %q", start+1, after[0])
+		}
+		ex.status = status
+		ex.respBody = strings.TrimSpace(strings.Join(after[1:], "\n"))
+		out = append(out, ex)
+	}
+	return out
+}
+
+// checkSubset asserts that the actual JSON value structurally covers the
+// documented one: every documented object key exists; strings match exactly
+// unless the doc writes the placeholder "…"; booleans match exactly;
+// numbers only need to be present (measured values vary across tuning);
+// arrays match element-wise with equal length.
+func checkSubset(path string, want, got any) error {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: documented as object, served %T", path, got)
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				return fmt.Errorf("%s: documented key %q missing from response", path, k)
+			}
+			if err := checkSubset(path+"."+k, wv, gv); err != nil {
+				return err
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			return fmt.Errorf("%s: documented as array, served %T", path, got)
+		}
+		if len(g) != len(w) {
+			return fmt.Errorf("%s: documented %d elements, served %d", path, len(w), len(g))
+		}
+		for j := range w {
+			if err := checkSubset(fmt.Sprintf("%s[%d]", path, j), w[j], g[j]); err != nil {
+				return err
+			}
+		}
+	case string:
+		if w == "…" {
+			return nil
+		}
+		if g, ok := got.(string); !ok || g != w {
+			return fmt.Errorf("%s: documented %q, served %v", path, w, got)
+		}
+	case bool:
+		if g, ok := got.(bool); !ok || g != w {
+			return fmt.Errorf("%s: documented %v, served %v", path, w, got)
+		}
+	case float64:
+		if _, ok := got.(float64); !ok {
+			return fmt.Errorf("%s: documented a number, served %T", path, got)
+		}
+	}
+	return nil
+}
+
+// TestAPIDocExamples replays every ```http example of docs/API.md, in
+// order, against a fresh daemon — the documentation is executable and
+// cannot drift from the implementation. The daemon matches the config the
+// doc declares: tenant burst 2 with a near-zero refill rate.
+func TestAPIDocExamples(t *testing.T) {
+	src, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	examples := parseAPIDoc(t, string(src))
+	if len(examples) < 10 {
+		t.Fatalf("parsed only %d http examples from docs/API.md; the doc should carry the full lifecycle", len(examples))
+	}
+
+	s, err := New(Config{
+		Platform:    testPlatform(t),
+		TenantRate:  1e-9,
+		TenantBurst: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, ex := range examples {
+		name := fmt.Sprintf("%s %s (API.md:%d)", ex.method, ex.path, ex.line)
+		var rd io.Reader
+		if ex.reqBody != "" {
+			rd = strings.NewReader(ex.reqBody)
+		}
+		req, err := http.NewRequest(ex.method, ts.URL+ex.path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != ex.status {
+			t.Fatalf("%s: documented status %d, served %d: %s", name, ex.status, resp.StatusCode, raw)
+		}
+		switch {
+		case ex.respBody == "":
+			// Status-only example.
+		case strings.HasPrefix(ex.respBody, "<"):
+			// JSONL stream: validate against the flight-record schema.
+			if n, err := obs.ValidateJSONL(bytes.NewReader(raw)); err != nil {
+				t.Fatalf("%s: streamed trace invalid after %d records: %v", name, n, err)
+			}
+		default:
+			var want, got any
+			if err := json.Unmarshal([]byte(ex.respBody), &want); err != nil {
+				t.Fatalf("%s: documented response is not valid JSON: %v", name, err)
+			}
+			if err := json.Unmarshal(raw, &got); err != nil {
+				t.Fatalf("%s: served response is not valid JSON: %v\n%s", name, err, raw)
+			}
+			if err := checkSubset("$", want, got); err != nil {
+				t.Fatalf("%s: %v\nserved: %s", name, err, raw)
+			}
+		}
+	}
+}

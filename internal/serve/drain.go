@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"yukta/internal/pool"
+)
+
+// DrainReport accounts for a graceful drain: every session that was live when
+// the drain began must appear in exactly one of the buckets, so zero-drop
+// shutdown is checkable (Drained == Sessions).
+type DrainReport struct {
+	// Sessions is how many sessions were open when the drain began.
+	Sessions int
+	// Drained is how many completed the staged-fallback walk (every session
+	// that was walked, tripped or not).
+	Drained int
+	// Tripped is how many were live supervised runs forced through an
+	// operator trip into the fallback.
+	Tripped int
+	// Finished is how many had already run to completion (drained trivially,
+	// no walk needed).
+	Finished int
+}
+
+// Drain gracefully shuts the session table down: it first flips the daemon
+// into draining mode (creates return 503 from that point on), then walks
+// every open session through the supervisory layer's staged fallback — an
+// operator-forced trip (supervisor.CauseOperator) followed by a settling walk
+// of Config.DrainSteps intervals, so each board lands in the fallback's
+// conservative posture rather than being dropped mid-run. Unsupervised and
+// already-finished sessions are marked drained without a trip. The walk fans
+// out over the bounded worker pool (Config.DrainParallelism), the same
+// bounding discipline the experiment harness uses.
+//
+// Drain returns once every session has been walked or ctx is cancelled;
+// cancellation stops dispatching new walks but never abandons one mid-walk.
+// cmd/yukta-serve wires Drain to SIGTERM.
+func (s *Server) Drain(ctx context.Context) DrainReport {
+	s.mu.Lock()
+	s.draining = true
+	live := make([]*session, 0, len(s.order))
+	for _, id := range s.order {
+		if sess := s.sessions[id]; sess != nil {
+			live = append(live, sess)
+		}
+	}
+	s.mu.Unlock()
+
+	rep := DrainReport{Sessions: len(live)}
+	var mu sync.Mutex
+	_ = pool.ForEachMetered(s.cfg.DrainParallelism, len(live), s.reg, func(i int) error {
+		if ctx.Err() != nil {
+			return nil
+		}
+		sess := live[i]
+		finished := sess.done()
+		tripped := sess.drain(s.cfg.DrainSteps)
+		s.reg.Counter("serve_sessions_drained_total").Add(1)
+		mu.Lock()
+		rep.Drained++
+		if tripped {
+			rep.Tripped++
+		}
+		if finished {
+			rep.Finished++
+		}
+		mu.Unlock()
+		return nil
+	})
+	return rep
+}

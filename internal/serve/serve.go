@@ -1,0 +1,433 @@
+// Package serve hosts the controller stack as a long-running multi-tenant
+// service: an HTTP daemon that owns many concurrent board sessions, each an
+// incrementally driven core.StepRun advanced by explicit step requests
+// instead of a one-shot batch run (DESIGN.md §11).
+//
+// The API surface (docs/API.md is the full reference, replay-tested against
+// this implementation):
+//
+//	POST   /v1/sessions            create a session (admission-controlled)
+//	GET    /v1/sessions            list sessions
+//	GET    /v1/sessions/{id}       session status + live result
+//	POST   /v1/sessions/{id}/step  advance up to N control intervals
+//	POST   /v1/sessions/{id}/trip  force a supervisor trip (operator cause)
+//	GET    /v1/sessions/{id}/trace stream the flight-recorder trace as JSONL
+//	DELETE /v1/sessions/{id}       close the session, freeing its slot
+//	GET    /v1/metrics             metrics-registry snapshot (JSON)
+//	GET    /healthz                liveness + drain state
+//	GET    /debug/vars, /debug/pprof/*  expvar and live-profiling surface
+//
+// Admission control guards the front door: a per-tenant token bucket
+// (Config.TenantRate/TenantBurst) rejects over-rate tenants with 429, and a
+// global concurrent-session cap (Config.MaxSessions, a pool.Slots) rejects
+// over-capacity creates with 429 — accepted sessions are never affected by
+// rejected ones. Graceful drain (Server.Drain, wired to SIGTERM in
+// cmd/yukta-serve) walks every live session through the supervisory layer's
+// staged fallback — an operator-forced trip plus a settling walk — instead
+// of dropping it mid-run.
+//
+// Determinism survives hosting: a session created with fixed options and
+// stepped to completion produces a JSONL trace byte-identical to the batch
+// core.Run of the same options (TestServeTraceMatchesBatch), because both
+// paths execute the identical per-interval body and the recorder's JSONL
+// export excludes wall-clock latency by default.
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"yukta/internal/core"
+	"yukta/internal/obs"
+	"yukta/internal/pool"
+)
+
+// Config tunes the daemon. The zero value of every field except Platform is
+// usable (defaults noted per field); Platform must be set.
+type Config struct {
+	// Platform is the identified platform every hosted session builds its
+	// controller stack from. Synthesis results are cached single-flight on
+	// the platform, so concurrent sessions of the same scheme share one
+	// design. Required.
+	Platform *core.Platform
+
+	// Schemes maps API scheme names to controller stacks. Nil means
+	// DefaultSchemes(Platform).
+	Schemes map[string]core.Scheme
+
+	// MaxSessions caps concurrently open sessions across all tenants
+	// (the global admission slot pool). 0 means 64.
+	MaxSessions int
+
+	// TenantRate is each tenant's session-creation token refill rate, in
+	// sessions per second. 0 means 4; negative disables per-tenant rate
+	// limiting.
+	TenantRate float64
+
+	// TenantBurst is each tenant's token-bucket capacity — the number of
+	// creates a fresh tenant may issue back-to-back before the rate applies.
+	// 0 means 8.
+	TenantBurst int
+
+	// DrainSteps is how many control intervals Drain walks each live session
+	// after forcing its supervisor trip, so the board settles under the
+	// fallback's conservative posture before shutdown. 0 means 20.
+	DrainSteps int
+
+	// DrainParallelism bounds the worker fan-out of the drain walk (the same
+	// bounded pool the experiment harness uses). 0 means runtime.NumCPU().
+	DrainParallelism int
+
+	// MaxStepsPerRequest caps the interval count of one step request, so a
+	// single request cannot hold a session's lock for an unbounded run.
+	// 0 means 10000.
+	MaxStepsPerRequest int
+
+	// Metrics receives the server's counters and gauges (and, threaded into
+	// every run, the per-scheme step-latency histograms). Nil creates a
+	// fresh registry; read it back via Registry.
+	Metrics *obs.Registry
+
+	// Now is the admission bucket's clock, injectable for tests. Nil means
+	// time.Now. Simulation determinism never depends on it.
+	Now func() time.Time
+}
+
+// Server is the yukta-serve daemon: session table, admission control, and
+// the HTTP handler over both. Create one with New.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	slots   *pool.Slots
+	buckets *buckets
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	order    []string // creation order, for deterministic listing and drain
+	nextID   int
+	draining bool
+}
+
+// New validates the configuration, applies defaults, and returns a ready
+// Server (not yet listening — pair Handler with an http.Server).
+func New(cfg Config) (*Server, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("serve: Config.Platform is required")
+	}
+	if cfg.Schemes == nil {
+		cfg.Schemes = DefaultSchemes(cfg.Platform)
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.TenantRate == 0 {
+		cfg.TenantRate = 4
+	}
+	if cfg.TenantBurst == 0 {
+		cfg.TenantBurst = 8
+	}
+	if cfg.DrainSteps == 0 {
+		cfg.DrainSteps = 20
+	}
+	if cfg.DrainParallelism == 0 {
+		cfg.DrainParallelism = runtime.NumCPU()
+	}
+	if cfg.MaxStepsPerRequest == 0 {
+		cfg.MaxStepsPerRequest = 10000
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Metrics,
+		slots:    pool.NewSlots(cfg.MaxSessions),
+		buckets:  newBuckets(cfg.TenantRate, cfg.TenantBurst, cfg.Now),
+		sessions: map[string]*session{},
+	}
+	s.routes()
+	return s, nil
+}
+
+// DefaultSchemes returns the scheme catalog the daemon serves by API name —
+// the same names the yukta-sim CLI accepts.
+func DefaultSchemes(p *core.Platform) map[string]core.Scheme {
+	hp, op := core.DefaultHWParams(), core.DefaultOSParams()
+	return map[string]core.Scheme{
+		"coordinated":      p.CoordinatedHeuristic(),
+		"decoupled":        p.DecoupledHeuristic(),
+		"yukta-hw":         p.YuktaHWSSVOSHeuristic(hp),
+		"yukta-full":       p.YuktaFullSSV(hp, op),
+		"yukta-supervised": p.SupervisedYuktaSSV(hp, op),
+		"lqg-mono":         p.MonolithicLQG(),
+		"lqg-decoupled":    p.DecoupledLQG(),
+	}
+}
+
+// Registry returns the server's metrics registry (for expvar publication or
+// direct inspection).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the daemon's HTTP handler: the /v1 API, /healthz, and the
+// pprof endpoints under /debug/pprof/.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// routes installs the endpoint table.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/trip", s.handleTrip)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// errorBody is the uniform error envelope of every non-2xx API response.
+type errorBody struct {
+	// Error is a human-readable description of what was rejected and why.
+	Error string `json:"error"`
+	// Code is a stable machine-readable reason: "bad_request",
+	// "unknown_session", "rate_limited", "capacity", "draining",
+	// "not_supervised".
+	Code string `json:"code"`
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// handleCreate is POST /v1/sessions: admission control, then session birth.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	// Admission gate 1: the daemon is draining — no new work.
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining", "daemon is draining; not accepting sessions")
+		return
+	}
+	// Admission gate 2: per-tenant token bucket.
+	if ok, retry := s.buckets.take(tenant); !ok {
+		s.reg.Counter("serve_rejected_rate_total/" + tenant).Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Seconds())+1))
+		writeError(w, http.StatusTooManyRequests, "rate_limited",
+			"tenant %q is over its session-creation rate; retry after %v", tenant, retry.Round(time.Millisecond))
+		return
+	}
+	// Admission gate 3: global concurrent-session cap.
+	if !s.slots.Acquire() {
+		s.reg.Counter("serve_rejected_capacity_total").Add(1)
+		writeError(w, http.StatusTooManyRequests, "capacity",
+			"all %d session slots are in use; close or finish a session first", s.slots.Cap())
+		return
+	}
+	sess, err := s.newSession(tenant, req)
+	if err != nil {
+		s.slots.Release()
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	s.reg.Counter("serve_sessions_created_total/" + tenant).Add(1)
+	s.reg.Gauge("serve_sessions_live").Set(int64(s.slots.InUse()))
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+// handleList is GET /v1/sessions.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	infos := make([]SessionInfo, 0, len(s.order))
+	for _, id := range s.order {
+		if sess := s.sessions[id]; sess != nil {
+			infos = append(infos, sess.info())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ListResponse{Sessions: infos})
+}
+
+// lookup resolves a session path ID, writing the 404 envelope when absent.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown_session", "no session %q", id)
+		return nil
+	}
+	return sess
+}
+
+// handleGet is GET /v1/sessions/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if sess := s.lookup(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, sess.info())
+	}
+}
+
+// handleStep is POST /v1/sessions/{id}/step.
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	var req StepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+		return
+	}
+	if req.Steps <= 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "steps must be positive, got %d", req.Steps)
+		return
+	}
+	n := req.Steps
+	if n > s.cfg.MaxStepsPerRequest {
+		n = s.cfg.MaxStepsPerRequest
+	}
+	executed := sess.step(n)
+	s.reg.Counter("serve_steps_total").Add(int64(executed))
+	s.reg.Counter("serve_steps_total/" + sess.tenant).Add(int64(executed))
+	writeJSON(w, http.StatusOK, StepResponse{
+		Executed: executed,
+		Steps:    sess.steps(),
+		Done:     sess.done(),
+		SupState: sess.supState(),
+	})
+}
+
+// handleTrip is POST /v1/sessions/{id}/trip.
+func (s *Server) handleTrip(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	forced := sess.forceTrip()
+	if !forced {
+		writeError(w, http.StatusConflict, "not_supervised",
+			"session %s cannot trip: scheme is unsupervised or the run already finished", sess.id)
+		return
+	}
+	s.reg.Counter("serve_trips_forced_total").Add(1)
+	writeJSON(w, http.StatusOK, TripResponse{Forced: true, SupState: sess.supState()})
+}
+
+// handleTrace is GET /v1/sessions/{id}/trace: the session's flight-recorder
+// trace streamed as JSONL in the obs.Record schema (obs.ValidateJSONL
+// accepts it; byte-identical to the batch run of the same options).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := sess.writeTrace(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// handleDelete is DELETE /v1/sessions/{id}.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	if sess != nil {
+		delete(s.sessions, id)
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown_session", "no session %q", id)
+		return
+	}
+	s.slots.Release()
+	s.reg.Counter("serve_sessions_closed_total").Add(1)
+	s.reg.Gauge("serve_sessions_live").Set(int64(s.slots.InUse()))
+	writeJSON(w, http.StatusOK, CloseResponse{Closed: true, ID: id})
+}
+
+// handleMetrics is GET /v1/metrics: the registry snapshot (the same data the
+// expvar publication exposes), with names sorted for stable output.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Emit in sorted order for humans; JSON objects are unordered, so build
+	// the document by hand to keep the rendering deterministic.
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		val, err := json.Marshal(snap[name])
+		if err != nil {
+			continue
+		}
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, "  %q: %s", name, val)
+	}
+	b.WriteString("\n}\n")
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Sessions: n,
+		Draining: draining,
+	})
+}

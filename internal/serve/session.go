@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"yukta/internal/core"
+	"yukta/internal/fault"
+	"yukta/internal/obs"
+	"yukta/internal/workload"
+)
+
+// CreateRequest is the POST /v1/sessions body. Every field except Scheme and
+// App is optional; zero values select the documented defaults. The tuple
+// (Scheme, App, FaultClass, FaultIntensity, FaultSeed, IntervalMS, MaxTimeS)
+// fully determines the session's simulation — two sessions created with
+// equal tuples produce byte-identical traces, and both match the batch
+// core.Run of the same options.
+type CreateRequest struct {
+	// Tenant is the caller's admission-control identity; each tenant has its
+	// own token bucket and per-tenant counters. Empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Scheme is the controller stack by API name (see DefaultSchemes):
+	// coordinated, decoupled, yukta-hw, yukta-full, yukta-supervised,
+	// lqg-mono, lqg-decoupled. Required.
+	Scheme string `json:"scheme"`
+	// App is the workload name (a benchmark application or a heterogeneous
+	// mix: blmc, stga, blst, mcga). Required.
+	App string `json:"app"`
+	// FaultClass selects a fault-injection campaign class: noise, dropout,
+	// actuator, thermal, phase, or all (fault.ClassNames). Empty means a
+	// clean run.
+	FaultClass string `json:"fault_class,omitempty"`
+	// FaultIntensity scales the campaign (1.0 = the harness's harshest
+	// default grid point). 0 with a FaultClass set means 1.0.
+	FaultIntensity float64 `json:"fault_intensity,omitempty"`
+	// FaultSeed is the campaign's base seed; per-session streams derive from
+	// (seed, fault.RunKey(scheme, app)). 0 means 1.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// IntervalMS is the control interval in milliseconds. 0 means 500 (the
+	// paper's §V-A interval).
+	IntervalMS int `json:"interval_ms,omitempty"`
+	// MaxTimeS bounds the simulated run time in seconds. 0 means 1200.
+	MaxTimeS float64 `json:"max_time_s,omitempty"`
+	// Engine selects the simulation core ("", "event" or "lockstep") — for
+	// parity with the batch CLIs; both engines are byte-identical, and a
+	// hosted single-board session degenerates to the same per-interval
+	// sequence either way.
+	Engine string `json:"engine,omitempty"`
+	// TraceCapacity is the flight-recorder ring capacity in control
+	// intervals (the trace endpoint streams the retained window). 0 means
+	// obs.DefaultCapacity; -1 disables tracing entirely.
+	TraceCapacity int `json:"trace_capacity,omitempty"`
+}
+
+// SessionInfo is the session-status document (create response and GET
+// session body).
+type SessionInfo struct {
+	// ID is the server-assigned session identifier ("s-1", "s-2", ...).
+	ID string `json:"id"`
+	// Tenant is the owning tenant.
+	Tenant string `json:"tenant"`
+	// Scheme echoes the API scheme name the session runs.
+	Scheme string `json:"scheme"`
+	// App echoes the workload name.
+	App string `json:"app"`
+	// Supervised reports whether the scheme carries the supervisory safety
+	// layer (and therefore supports the trip endpoint and a staged drain).
+	Supervised bool `json:"supervised"`
+	// Steps is the number of control intervals executed so far.
+	Steps int `json:"steps"`
+	// MaxSteps is the step bound implied by max_time_s / interval_ms.
+	MaxSteps int `json:"max_steps"`
+	// Done reports run completion (workload finished or MaxSteps reached).
+	Done bool `json:"done"`
+	// Drained reports that the daemon's graceful drain walked this session
+	// through the supervisor fallback.
+	Drained bool `json:"drained"`
+	// SupState is the supervisory state the next interval runs under
+	// (nominal, suspect, fallback, recovering); empty for unsupervised
+	// schemes.
+	SupState string `json:"sup_state,omitempty"`
+	// Result is the run's measurements so far (canonical once Done).
+	Result ResultInfo `json:"result"`
+}
+
+// ResultInfo is the JSON shape of a session's core.RunResult.
+type ResultInfo struct {
+	// Completed reports whether the workload ran to completion.
+	Completed bool `json:"completed"`
+	// TimeS is the simulated completion time (delay D), in seconds.
+	TimeS float64 `json:"time_s"`
+	// EnergyJ is the consumed energy E, in joules.
+	EnergyJ float64 `json:"energy_j"`
+	// ExDJS is the E×D product, in J·s.
+	ExDJS float64 `json:"exd_js"`
+	// Emergencies counts firmware emergency-throttle events.
+	Emergencies int `json:"emergencies"`
+	// FaultsInjected sums the faults delivered across all classes.
+	FaultsInjected int `json:"faults_injected"`
+	// Trips counts confirmed supervisor trips (supervised schemes only).
+	Trips int `json:"trips"`
+	// Recoveries counts completed trip-to-nominal round trips.
+	Recoveries int `json:"recoveries"`
+	// FallbackSteps counts intervals the fallback held authority.
+	FallbackSteps int `json:"fallback_steps"`
+}
+
+// ListResponse is the GET /v1/sessions body.
+type ListResponse struct {
+	// Sessions lists every open session in creation order.
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// StepRequest is the POST /v1/sessions/{id}/step body.
+type StepRequest struct {
+	// Steps is how many control intervals to advance (capped by the server's
+	// MaxStepsPerRequest; must be positive).
+	Steps int `json:"steps"`
+}
+
+// StepResponse is the step endpoint's body.
+type StepResponse struct {
+	// Executed is how many intervals actually ran (less than requested at
+	// completion or the per-request cap; 0 when the run was already done).
+	Executed int `json:"executed"`
+	// Steps is the session's total executed interval count.
+	Steps int `json:"steps"`
+	// Done reports run completion.
+	Done bool `json:"done"`
+	// SupState is the supervisory state after the advance (empty for
+	// unsupervised schemes).
+	SupState string `json:"sup_state,omitempty"`
+}
+
+// TripResponse is the trip endpoint's body.
+type TripResponse struct {
+	// Forced confirms the trip was armed: the next stepped interval runs
+	// under the fallback with a bumpless transfer.
+	Forced bool `json:"forced"`
+	// SupState is the supervisory state at response time (the transfer
+	// lands on the next step request).
+	SupState string `json:"sup_state,omitempty"`
+}
+
+// CloseResponse is the DELETE /v1/sessions/{id} body.
+type CloseResponse struct {
+	// Closed confirms removal.
+	Closed bool `json:"closed"`
+	// ID echoes the closed session's identifier.
+	ID string `json:"id"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	// Status is "ok" while the daemon serves traffic.
+	Status string `json:"status"`
+	// Sessions is the number of open sessions.
+	Sessions int `json:"sessions"`
+	// Draining reports that graceful drain has begun (creates return 503).
+	Draining bool `json:"draining"`
+}
+
+// session is one hosted board run: a core.StepRun plus its recorder, guarded
+// by a per-session lock (the StepRun itself is single-owner state).
+type session struct {
+	id     string
+	tenant string
+	scheme string
+	app    string
+
+	mu      sync.Mutex
+	run     *core.StepRun
+	rec     *obs.Recorder
+	drained bool
+}
+
+// newSession validates the request against the scheme/workload/fault
+// catalogs, builds the StepRun, and registers the session.
+func (s *Server) newSession(tenant string, req CreateRequest) (*session, error) {
+	sch, ok := s.cfg.Schemes[req.Scheme]
+	if !ok {
+		return nil, fmt.Errorf("unknown scheme %q", req.Scheme)
+	}
+	w, err := lookupWorkload(req.App)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.RunOptions{SkipSeries: true}
+	if req.IntervalMS < 0 || req.MaxTimeS < 0 {
+		return nil, fmt.Errorf("interval_ms and max_time_s must be non-negative")
+	}
+	if req.IntervalMS > 0 {
+		opt.Interval = time.Duration(req.IntervalMS) * time.Millisecond
+	}
+	if req.MaxTimeS > 0 {
+		opt.MaxTime = time.Duration(req.MaxTimeS * float64(time.Second))
+	}
+	if eng, err := core.ParseEngine(req.Engine); err != nil {
+		return nil, err
+	} else {
+		opt.Engine = eng
+	}
+	if req.FaultClass != "" {
+		if !fault.ValidClass(req.FaultClass) {
+			return nil, fmt.Errorf("unknown fault_class %q (want one of %v)", req.FaultClass, fault.ClassNames())
+		}
+		intensity := req.FaultIntensity
+		if intensity == 0 {
+			intensity = 1.0
+		}
+		if intensity < 0 {
+			return nil, fmt.Errorf("fault_intensity must be non-negative")
+		}
+		seed := req.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		opt.Faults = fault.PresetClass(seed, intensity, req.FaultClass)
+	} else if req.FaultIntensity != 0 || req.FaultSeed != 0 {
+		return nil, fmt.Errorf("fault_intensity/fault_seed require fault_class")
+	}
+	var rec *obs.Recorder
+	if req.TraceCapacity >= 0 {
+		rec = obs.NewRecorder(req.TraceCapacity)
+		opt.Trace = rec
+	}
+	opt.Metrics = s.reg
+	run, err := core.NewStepRun(s.cfg.Platform.Cfg, sch, w, opt)
+	if err != nil {
+		return nil, err
+	}
+	sess := &session{
+		tenant: tenant,
+		scheme: req.Scheme,
+		app:    req.App,
+		run:    run,
+		rec:    rec,
+	}
+	s.mu.Lock()
+	s.nextID++
+	sess.id = fmt.Sprintf("s-%d", s.nextID)
+	s.sessions[sess.id] = sess
+	s.order = append(s.order, sess.id)
+	s.mu.Unlock()
+	return sess, nil
+}
+
+// lookupWorkload resolves an app or heterogeneous-mix name.
+func lookupWorkload(name string) (workload.Workload, error) {
+	for _, m := range workload.HeterogeneousMixes() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return workload.Lookup(name)
+}
+
+// info snapshots the session's status document.
+func (se *session) info() SessionInfo {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	res := se.run.Result()
+	info := SessionInfo{
+		ID:         se.id,
+		Tenant:     se.tenant,
+		Scheme:     se.scheme,
+		App:        se.app,
+		Supervised: se.run.Supervised(),
+		Steps:      se.run.Steps(),
+		MaxSteps:   se.run.MaxSteps(),
+		Done:       se.run.Done(),
+		Drained:    se.drained,
+		Result: ResultInfo{
+			Completed:   res.Completed,
+			TimeS:       res.TimeS,
+			EnergyJ:     res.EnergyJ,
+			ExDJS:       res.ExD,
+			Emergencies: res.EmergencyEvents,
+			FaultsInjected: res.Faults.DroppedReadings + res.Faults.StaleReadings +
+				res.Faults.HeldCommands + res.Faults.SkewedCommands + res.Faults.ForcedThrottles,
+		},
+	}
+	if st, ok := se.run.SupervisorState(); ok {
+		info.SupState = st.String()
+	}
+	if sup := res.Supervisor; sup != nil {
+		info.Result.Trips = sup.Trips
+		info.Result.Recoveries = sup.Recoveries
+		info.Result.FallbackSteps = sup.FallbackSteps
+	}
+	return info
+}
+
+// step advances the run by up to n intervals under the session lock.
+func (se *session) step(n int) int {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.run.Step(n)
+}
+
+// steps returns the executed interval count.
+func (se *session) steps() int {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.run.Steps()
+}
+
+// done reports run completion.
+func (se *session) done() bool {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.run.Done()
+}
+
+// supState names the supervisory state ("" for unsupervised schemes).
+func (se *session) supState() string {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if st, ok := se.run.SupervisorState(); ok {
+		return st.String()
+	}
+	return ""
+}
+
+// forceTrip arms an operator-forced supervisor trip.
+func (se *session) forceTrip() bool {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.run.ForceTrip()
+}
+
+// writeTrace streams the retained flight-recorder window as JSONL.
+func (se *session) writeTrace(w io.Writer) error {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.rec == nil {
+		return nil
+	}
+	return se.rec.WriteJSONL(w)
+}
+
+// drain walks the session through the supervisory staged fallback: force an
+// operator trip (supervised schemes), then settle for up to drainSteps
+// intervals so the fallback's conservative posture is in effect at shutdown.
+// Finished sessions drain trivially.
+func (se *session) drain(drainSteps int) (tripped bool) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if !se.run.Done() {
+		tripped = se.run.ForceTrip()
+		if tripped {
+			se.run.Step(drainSteps)
+		}
+	}
+	se.drained = true
+	return tripped
+}

@@ -108,6 +108,12 @@ const (
 	// operating point, so authority belongs with the fallback until the
 	// storm passes.
 	CauseThrottle
+	// CauseOperator: an operator (the serve layer's trip endpoint or its
+	// graceful-drain walk) forced the transfer. No detector fired — the trip
+	// is a command, not a diagnosis — but the transfer mechanics (bumpless
+	// hand-off, quarantine, staged re-engagement) are identical to a
+	// detector-confirmed trip.
+	CauseOperator
 	// CauseCount bounds the Cause enum (for stats arrays).
 	CauseCount
 )
@@ -133,6 +139,8 @@ func (c Cause) String() string {
 		return "actuation-fault"
 	case CauseThrottle:
 		return "throttle-storm"
+	case CauseOperator:
+		return "operator"
 	}
 	return fmt.Sprintf("cause(%d)", int(c))
 }
@@ -758,6 +766,23 @@ func (m *Monitor) watchPrimary(smp Sample, act *Action) {
 	if m.suspectStreak >= m.cfg.ConfirmSteps {
 		m.trip(cause, act)
 	}
+}
+
+// ForceTrip transfers authority to the fallback immediately, outside the
+// detector path — the operator-commanded trip behind the serve layer's trip
+// endpoint and graceful drain. It performs exactly the transfer-to-fallback
+// bookkeeping of a detector-confirmed trip (stats, quarantine reset, window
+// reset) and returns the resulting one-shot Action (Tripped set, with the
+// given cause) so the wrapper can run its bumpless hand-off. Forcing while
+// already in Fallback is a no-op returning the current state.
+func (m *Monitor) ForceTrip(cause Cause) Action {
+	act := Action{State: m.state}
+	if m.state == Fallback {
+		return act
+	}
+	m.trip(cause, &act)
+	act.State = m.state
+	return act
 }
 
 // trip performs the transfer-to-fallback bookkeeping.

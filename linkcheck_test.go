@@ -1,0 +1,117 @@
+package yukta_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// linkcheckFiles are the markdown documents whose relative links must stay
+// valid — the documentation map of README.md plus the docs/ tree.
+var linkcheckFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"ROADMAP.md",
+	"docs/API.md",
+	"docs/OPERATIONS.md",
+}
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// anchorSlug reproduces the GitHub heading-anchor algorithm closely enough
+// for this repo's headings: lowercase, drop everything but letters, digits,
+// spaces and dashes, then turn spaces into dashes.
+func anchorSlug(heading string) string {
+	h := strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
+
+// headingAnchors collects the anchor slugs of every markdown heading in the
+// file, skipping fenced code blocks.
+func headingAnchors(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		anchors[anchorSlug(strings.TrimLeft(line, "# "))] = true
+	}
+	return anchors
+}
+
+// TestMarkdownRelativeLinks checks every relative link in the documentation
+// set: the target file must exist, and a #fragment must name a real heading
+// anchor in the target. External (scheme-prefixed) links are skipped — this
+// is a hermetic test, not a crawler.
+func TestMarkdownRelativeLinks(t *testing.T) {
+	anchorCache := map[string]map[string]bool{}
+	for _, file := range linkcheckFiles {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		inFence := false
+		for ln, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				loc := fmt.Sprintf("%s:%d", file, ln+1)
+				path, frag, _ := strings.Cut(target, "#")
+				resolved := file
+				if path != "" {
+					resolved = filepath.Join(filepath.Dir(file), filepath.FromSlash(path))
+					if _, err := os.Stat(resolved); err != nil {
+						t.Errorf("%s: broken relative link %q: %v", loc, target, err)
+						continue
+					}
+				}
+				if frag == "" {
+					continue
+				}
+				if !strings.HasSuffix(resolved, ".md") {
+					continue // fragments into non-markdown targets are not ours to judge
+				}
+				anchors, ok := anchorCache[resolved]
+				if !ok {
+					anchors = headingAnchors(t, resolved)
+					anchorCache[resolved] = anchors
+				}
+				if !anchors[frag] {
+					t.Errorf("%s: link %q points at missing anchor #%s in %s", loc, target, frag, resolved)
+				}
+			}
+		}
+	}
+}
