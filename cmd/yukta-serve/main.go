@@ -9,10 +9,18 @@
 //	yukta-serve                          # listen on :8871
 //	yukta-serve -addr :9000 -max-sessions 16
 //	yukta-serve -tenant-rate 2 -tenant-burst 4
-//	yukta-serve -smoke                   # self-test: serve+exercise+drain, then exit
+//	yukta-serve -data-dir /var/lib/yukta # durable sessions (write-ahead log)
+//	yukta-serve -data-dir /var/lib/yukta -recover   # replay sessions after a crash
+//	yukta-serve -idle-ttl 30m            # reap sessions idle for half an hour
+//	yukta-serve -smoke                   # self-test: serve+exercise+recover+drain, then exit
 //
-// See docs/OPERATIONS.md for the operator's guide (metrics, pprof, drain
-// runbook) and docs/API.md for the endpoint reference.
+// With -data-dir set, every session mutation is appended to a per-session
+// write-ahead log and fsync'd before the request is acknowledged; after a
+// crash, -recover reconstructs every live session by deterministic replay
+// before the daemon accepts traffic (endpoints answer 503 "recovering"
+// until the fence lifts). See docs/OPERATIONS.md for the operator's guide
+// (durability, metrics, pprof, drain runbook) and docs/API.md for the
+// endpoint reference.
 package main
 
 import (
@@ -44,7 +52,10 @@ func main() {
 		drainSteps  = flag.Int("drain-steps", 20, "control intervals each live session settles under the fallback during drain")
 		drainPar    = flag.Int("drain-parallel", 0, "drain worker fan-out (0 = NumCPU)")
 		maxStep     = flag.Int("max-step", 10000, "cap on intervals per step request")
-		smoke       = flag.Bool("smoke", false, "self-test: start the daemon, exercise the API end to end, drain, exit")
+		dataDir     = flag.String("data-dir", "", "durable session-state directory (per-session write-ahead logs); empty disables durability")
+		doRecover   = flag.Bool("recover", false, "replay the session write-ahead logs left in -data-dir before accepting traffic")
+		idleTTL     = flag.Duration("idle-ttl", 0, "close sessions idle longer than this, freeing their slots (0 disables)")
+		smoke       = flag.Bool("smoke", false, "self-test: start the daemon, exercise the API end to end (crash recovery included), drain, exit")
 	)
 	flag.Parse()
 
@@ -61,27 +72,67 @@ func main() {
 		DrainSteps:         *drainSteps,
 		DrainParallelism:   *drainPar,
 		MaxStepsPerRequest: *maxStep,
+		DataDir:            *dataDir,
+		IdleTTL:            *idleTTL,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	srv.Registry().Publish("yukta")
 
+	// Leftover write-ahead logs are a deliberate fork in the road: replaying
+	// them silently could resurrect sessions the operator believed gone, and
+	// ignoring them would strand durable state. Make the operator choose.
+	if srv.NeedsRecovery() && !*doRecover {
+		fatal(fmt.Errorf("data dir %q holds session logs from a previous run; pass -recover to replay them, or clean %s/sessions to discard", *dataDir, *dataDir))
+	}
+
 	if *smoke {
-		if err := runSmoke(srv); err != nil {
+		if srv.NeedsRecovery() {
+			fmt.Fprintf(os.Stderr, "yukta-serve: %s\n", srv.Recover())
+		}
+		if err := runSmoke(srv, p); err != nil {
 			fatal(fmt.Errorf("smoke: %w", err))
 		}
 		fmt.Println("yukta-serve: smoke OK")
 		return
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The listener comes up before recovery replays: the startup fence
+	// answers every /v1 request 503 "recovering" (with Retry-After) until
+	// Recover returns, so clients see a consistent retryable signal instead
+	// of connection-refused.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		fmt.Fprintf(os.Stderr, "yukta-serve: listening on %s\n", *addr)
 		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fatal(err)
 		}
 	}()
+
+	if srv.NeedsRecovery() {
+		fmt.Fprintln(os.Stderr, "yukta-serve: recovering sessions...")
+		fmt.Fprintf(os.Stderr, "yukta-serve: %s\n", srv.Recover())
+	}
+
+	if *idleTTL > 0 {
+		reapCtx, reapCancel := context.WithCancel(context.Background())
+		defer reapCancel()
+		interval := *idleTTL / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		if interval > 30*time.Second {
+			interval = 30 * time.Second
+		}
+		go srv.RunReaper(reapCtx, interval)
+	}
 
 	// SIGTERM/SIGINT: stop admitting, walk every live session through the
 	// supervisory staged fallback, then close the listener.
@@ -101,9 +152,10 @@ func main() {
 
 // runSmoke is the CI self-test: serve on a loopback ephemeral port, drive
 // the full session lifecycle as an HTTP client (create, step to completion,
-// trip a supervised session, validate the streamed trace), then drain and
-// verify zero drops.
-func runSmoke(srv *serve.Server) error {
+// trip a supervised session, validate the streamed trace), run a crash-
+// recovery round trip on a scratch data dir, then drain and verify zero
+// drops.
+func runSmoke(srv *serve.Server, p *core.Platform) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -186,6 +238,13 @@ func runSmoke(srv *serve.Server) error {
 		return fmt.Errorf("metrics missing serve_sessions_created_total/default")
 	}
 
+	// Crash-recovery round trip on a scratch data dir: create and partially
+	// step a durable session, abandon the daemon without any shutdown, and
+	// verify a fresh daemon over the same dir replays it to the exact step.
+	if err := smokeRecovery(p); err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+
 	// Drain: zero drops, then clean shutdown.
 	rep := srv.Drain(context.Background())
 	if rep.Drained != rep.Sessions {
@@ -196,6 +255,103 @@ func runSmoke(srv *serve.Server) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return hs.Shutdown(ctx)
+}
+
+// smokeRecovery is the in-process crash-recovery leg of the smoke test: a
+// durable daemon A hosts a partially stepped supervised session (trip
+// included, so replay exercises the supervisory machine), is abandoned
+// mid-flight with no shutdown of any kind, and a daemon B over the same
+// data dir must replay the session to the exact logged position and step it
+// to completion.
+func smokeRecovery(p *core.Platform) error {
+	dir, err := os.MkdirTemp("", "yukta-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	a, err := serve.New(serve.Config{Platform: p, DataDir: dir, TenantRate: -1})
+	if err != nil {
+		return err
+	}
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hsA := &http.Server{Handler: a.Handler()}
+	go func() { _ = hsA.Serve(lnA) }()
+	baseA := "http://" + lnA.Addr().String()
+
+	var sess struct {
+		ID string `json:"id"`
+	}
+	if err := call("POST", baseA+"/v1/sessions",
+		`{"scheme":"yukta-supervised","app":"gamess","fault_class":"all","fault_seed":7,"fault_intensity":1,"max_time_s":30}`,
+		&sess, http.StatusCreated); err != nil {
+		return err
+	}
+	var st struct {
+		Steps int `json:"steps"`
+	}
+	if err := call("POST", baseA+"/v1/sessions/"+sess.ID+"/step", `{"steps":17,"seq":1}`, &st, http.StatusOK); err != nil {
+		return err
+	}
+	if err := call("POST", baseA+"/v1/sessions/"+sess.ID+"/trip", "", nil, http.StatusOK); err != nil {
+		return err
+	}
+	if err := call("POST", baseA+"/v1/sessions/"+sess.ID+"/step", `{"steps":5,"seq":2}`, &st, http.StatusOK); err != nil {
+		return err
+	}
+	// Abandon A: close only the listener, exactly what a SIGKILL leaves
+	// behind (every acknowledged record is already fsync'd).
+	lnA.Close()
+
+	b, err := serve.New(serve.Config{Platform: p, DataDir: dir, TenantRate: -1})
+	if err != nil {
+		return err
+	}
+	if !b.NeedsRecovery() {
+		return fmt.Errorf("daemon B sees no logs to recover in %s", dir)
+	}
+	rep := b.Recover()
+	fmt.Fprintf(os.Stderr, "yukta-serve: smoke %s\n", rep)
+	if rep.Recovered != 1 || rep.Abandoned != 0 {
+		return fmt.Errorf("recover report %+v, want 1 recovered, 0 abandoned", rep)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer lnB.Close()
+	hsB := &http.Server{Handler: b.Handler()}
+	go func() { _ = hsB.Serve(lnB) }()
+	baseB := "http://" + lnB.Addr().String()
+
+	var info struct {
+		Steps    int    `json:"steps"`
+		SupState string `json:"sup_state"`
+		Done     bool   `json:"done"`
+	}
+	if err := call("GET", baseB+"/v1/sessions/"+sess.ID, "", &info, http.StatusOK); err != nil {
+		return err
+	}
+	if info.Steps != st.Steps {
+		return fmt.Errorf("recovered session at step %d, want %d", info.Steps, st.Steps)
+	}
+	for i := 0; !info.Done; i++ {
+		if err := call("POST", baseB+"/v1/sessions/"+sess.ID+"/step", `{"steps":50}`, &info, http.StatusOK); err != nil {
+			return err
+		}
+		if i > 1000 {
+			return fmt.Errorf("recovered session never finished")
+		}
+	}
+	if err := call("DELETE", baseB+"/v1/sessions/"+sess.ID, "", nil, http.StatusOK); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hsB.Shutdown(ctx)
 }
 
 // call issues one JSON request, checks the status, and decodes into out.

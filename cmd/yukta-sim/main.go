@@ -15,20 +15,24 @@
 // -record captures a trace byte-identical to the local run's:
 //
 //	yukta-sim -via http://localhost:8871 -app gamess -scheme yukta-supervised -faults 1 -record run.jsonl
+//
+// The hosted path rides the hardened internal/client: transient failures
+// (daemon restart, rate limiting, the recovery fence after a crash) are
+// retried with exponential backoff and jitter, and every step request
+// carries an idempotency sequence number so a retry never double-advances
+// the session.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"path/filepath"
 	"time"
 
 	"yukta"
+	"yukta/internal/client"
+	"yukta/internal/serve"
 )
 
 func schemes(p *yukta.Platform) map[string]yukta.Scheme {
@@ -145,58 +149,41 @@ func main() {
 // print the hosted result, and optionally download the trace. The daemon's
 // trace is byte-identical to the local run's (the serve package's
 // determinism gate), so -record output is interchangeable between paths.
+// Steps ride the hardened client's idempotent retry loop, which also makes
+// the drive survive a daemon crash-and-recover in the middle of the run.
 func runVia(base, scheme, app, engine string, maxTime time.Duration, faults float64, faultSeed int64, record string) error {
-	createBody := map[string]any{
-		"scheme":     scheme,
-		"app":        app,
-		"max_time_s": maxTime.Seconds(),
-	}
-	if engine != "" {
-		createBody["engine"] = engine
+	c := client.New(client.Config{
+		Base:       base,
+		JitterSeed: time.Now().UnixNano(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "yukta-sim: "+format+"\n", args...)
+		},
+	})
+	req := serve.CreateRequest{
+		Scheme:   scheme,
+		App:      app,
+		MaxTimeS: maxTime.Seconds(),
+		Engine:   engine,
 	}
 	if faults > 0 {
 		// The local path's -faults intensity is the full campaign: class
 		// "all" on the hosted API.
-		createBody["fault_class"] = "all"
-		createBody["fault_intensity"] = faults
-		createBody["fault_seed"] = faultSeed
+		req.FaultClass = "all"
+		req.FaultIntensity = faults
+		req.FaultSeed = faultSeed
 	}
-	var info struct {
-		ID string `json:"id"`
-	}
-	if err := apiCall(base, "POST", "/v1/sessions", createBody, &info, http.StatusCreated); err != nil {
+	sess, info, err := c.CreateSession(req)
+	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "session %s on %s\n", info.ID, base)
 
-	var step struct {
-		Done bool `json:"done"`
-	}
-	for i := 0; !step.Done; i++ {
-		if err := apiCall(base, "POST", "/v1/sessions/"+info.ID+"/step", map[string]any{"steps": 500}, &step, http.StatusOK); err != nil {
-			return err
-		}
-		if i > 100000 {
-			return fmt.Errorf("session %s never finished", info.ID)
-		}
+	if _, err := sess.StepToDone(500); err != nil {
+		return err
 	}
 
-	var fin struct {
-		Scheme   string `json:"scheme"`
-		App      string `json:"app"`
-		SupState string `json:"sup_state"`
-		Result   struct {
-			Completed      bool    `json:"completed"`
-			TimeS          float64 `json:"time_s"`
-			EnergyJ        float64 `json:"energy_j"`
-			ExDJS          float64 `json:"exd_js"`
-			Emergencies    int     `json:"emergencies"`
-			FaultsInjected int     `json:"faults_injected"`
-			Trips          int     `json:"trips"`
-			Recoveries     int     `json:"recoveries"`
-		} `json:"result"`
-	}
-	if err := apiCall(base, "GET", "/v1/sessions/"+info.ID, nil, &fin, http.StatusOK); err != nil {
+	fin, err := sess.Info()
+	if err != nil {
 		return err
 	}
 	fmt.Printf("app=%s scheme=%q (hosted)\n", fin.App, fin.Scheme)
@@ -211,14 +198,6 @@ func runVia(base, scheme, app, engine string, maxTime time.Duration, faults floa
 	}
 
 	if record != "" {
-		resp, err := http.Get(base + "/v1/sessions/" + info.ID + "/trace")
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("trace: status %d", resp.StatusCode)
-		}
 		if dir := filepath.Dir(record); dir != "." {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return err
@@ -228,49 +207,21 @@ func runVia(base, scheme, app, engine string, maxTime time.Duration, faults floa
 		if err != nil {
 			return err
 		}
-		n, cErr := io.Copy(f, resp.Body)
+		cErr := sess.WriteTrace(f)
 		if err := f.Close(); cErr == nil {
 			cErr = err
 		}
 		if cErr != nil {
 			return cErr
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", record, n)
-	}
-	// Free the daemon's session slot.
-	return apiCall(base, "DELETE", "/v1/sessions/"+info.ID, nil, nil, http.StatusOK)
-}
-
-// apiCall issues one JSON request against the daemon.
-func apiCall(base, method, path string, body, out any, want int) error {
-	var rd io.Reader
-	if body != nil {
-		b, err := json.Marshal(body)
+		st, err := os.Stat(record)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(b)
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", record, st.Size())
 	}
-	req, err := http.NewRequest(method, base+path, rd)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != want {
-		return fmt.Errorf("%s %s: status %d (want %d): %s", method, path, resp.StatusCode, want, raw)
-	}
-	if out != nil {
-		return json.Unmarshal(raw, out)
-	}
-	return nil
+	// Free the daemon's session slot.
+	return sess.Delete()
 }
 
 // writeRecord persists the flight recorder's decision log as JSONL.

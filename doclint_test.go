@@ -28,6 +28,7 @@ var doclintPackages = []string{
 	"internal/pool",
 	"internal/sched",
 	"internal/serve",
+	"internal/client",
 }
 
 // TestExportedIdentifiersDocumented fails on any exported identifier —

@@ -1,0 +1,176 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"yukta/internal/serve"
+)
+
+// scriptedServer answers each request from a queue of canned responses and
+// records how many arrived.
+type scriptedServer struct {
+	mu    sync.Mutex
+	queue []func(http.ResponseWriter)
+	calls int
+}
+
+func (s *scriptedServer) handler(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if len(s.queue) == 0 {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	next := s.queue[0]
+	s.queue = s.queue[1:]
+	next(w)
+}
+
+// newScriptedClient wires a Client (fake sleep, fixed jitter seed) to a
+// scripted server.
+func newScriptedClient(t *testing.T, script ...func(http.ResponseWriter)) (*Client, *scriptedServer, *[]time.Duration) {
+	t.Helper()
+	srv := &scriptedServer{queue: script}
+	ts := httptest.NewServer(http.HandlerFunc(srv.handler))
+	t.Cleanup(ts.Close)
+	var sleeps []time.Duration
+	c := New(Config{
+		Base:        ts.URL,
+		MaxAttempts: 5,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	return c, srv, &sleeps
+}
+
+func ok(body string) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(body))
+	}
+}
+
+func reject(status int, retryAfter, body string) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.WriteHeader(status)
+		w.Write([]byte(body))
+	}
+}
+
+// TestStepRetriesHonorRetryAfterAndBackoff walks a step request through a
+// 429 carrying Retry-After and a 503 recovering without one: the first wait
+// must honor the server's two seconds (longer than the computed backoff),
+// the second falls back to the jittered exponential (200ms ±25% on the
+// second retry), and the call ultimately succeeds.
+func TestStepRetriesHonorRetryAfterAndBackoff(t *testing.T) {
+	c, srv, sleeps := newScriptedClient(t,
+		reject(http.StatusTooManyRequests, "2", `{"error":"slow down","code":"rate_limited"}`),
+		reject(http.StatusServiceUnavailable, "", `{"error":"replaying","code":"recovering"}`),
+		ok(`{"executed":3,"steps":3,"done":false}`),
+	)
+	sess := c.Attach("s-1")
+	resp, err := sess.Step(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Steps != 3 || srv.calls != 3 {
+		t.Fatalf("steps=%d after %d calls; want 3 after 3", resp.Steps, srv.calls)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("slept %d times; want 2", len(*sleeps))
+	}
+	if (*sleeps)[0] < 2*time.Second {
+		t.Fatalf("first wait %v ignored Retry-After: 2", (*sleeps)[0])
+	}
+	if d := (*sleeps)[1]; d < 150*time.Millisecond || d > 250*time.Millisecond {
+		t.Fatalf("second wait %v outside the 200ms ±25%% backoff window", d)
+	}
+}
+
+// TestDrainingFailsFast: a 503 with code "draining" is terminal — the
+// daemon is going away, retrying only delays the inevitable.
+func TestDrainingFailsFast(t *testing.T) {
+	c, srv, sleeps := newScriptedClient(t,
+		reject(http.StatusServiceUnavailable, "1", `{"error":"shutting down","code":"draining"}`),
+	)
+	_, err := c.Attach("s-1").Step(3)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != "draining" {
+		t.Fatalf("err = %v; want a draining StatusError", err)
+	}
+	if srv.calls != 1 || len(*sleeps) != 0 {
+		t.Fatalf("%d calls, %d sleeps; draining must not be retried", srv.calls, len(*sleeps))
+	}
+}
+
+// TestCreateNotRetriedOnTransportError: a create whose connection dies may
+// or may not have registered a session server-side, so the client must
+// surface the error instead of risking a duplicate.
+func TestCreateNotRetriedOnTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	base := ts.URL
+	ts.Close() // every request now fails at the transport
+	var sleeps []time.Duration
+	c := New(Config{Base: base, MaxAttempts: 5, Sleep: func(d time.Duration) { sleeps = append(sleeps, d) }})
+	if _, _, err := c.CreateSession(serve.CreateRequest{Scheme: "coordinated", App: "gamess"}); err == nil {
+		t.Fatal("create against a dead daemon succeeded")
+	}
+	if len(sleeps) != 0 {
+		t.Fatalf("create was transport-retried %d times", len(sleeps))
+	}
+
+	// An idempotent step against the same dead daemon is retried to the
+	// attempt cap.
+	if _, err := c.Attach("s-1").Step(1); err == nil {
+		t.Fatal("step against a dead daemon succeeded")
+	}
+	if len(sleeps) != 4 { // MaxAttempts 5 → 4 waits between them
+		t.Fatalf("step slept %d times; want 4", len(sleeps))
+	}
+}
+
+// TestStepSequenceMonotonic: every logical step request gets a fresh,
+// strictly increasing sequence number, and the number is pinned across what
+// would be retries of the same request.
+func TestStepSequenceMonotonic(t *testing.T) {
+	var seqs []int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req serve.StepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		seqs = append(seqs, req.Seq)
+		ok(`{"executed":1,"steps":1,"done":false}`)(w)
+	}))
+	t.Cleanup(ts.Close)
+	c := New(Config{Base: ts.URL})
+	sess := c.Attach("s-1")
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[1] != 2 || seqs[2] != 3 {
+		t.Fatalf("server saw sequence numbers %v; want [1 2 3]", seqs)
+	}
+}
+
+// TestDeleteTolerates404: the session being already gone is the outcome a
+// delete wants.
+func TestDeleteTolerates404(t *testing.T) {
+	c, _, _ := newScriptedClient(t,
+		reject(http.StatusNotFound, "", `{"error":"unknown session","code":"unknown_session"}`),
+	)
+	if err := c.Attach("s-9").Delete(); err != nil {
+		t.Fatalf("delete of an already-gone session: %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"yukta/internal/board"
 	"yukta/internal/supervisor"
 	"yukta/internal/workload"
@@ -49,6 +51,29 @@ func (s *StepRun) Step(n int) int {
 		s.next++
 	}
 	return done
+}
+
+// ReplayTo advances the run to exactly step n, the recovery primitive of
+// the serve layer's write-ahead log: because the interval sequence is
+// deterministic, re-executing to a logged position reconstructs the exact
+// pre-crash state (trace bytes, scalars, supervisory machine). Unlike Step
+// it treats falling short as an error — if the run finishes before reaching
+// n, the log and the execution disagree (corrupt log, changed catalog) and
+// the caller must abandon the replay rather than serve a diverged session.
+// A target behind the current position is likewise an error: a StepRun
+// cannot rewind.
+func (s *StepRun) ReplayTo(n int) error {
+	if n < s.next {
+		return fmt.Errorf("core: replay target %d is behind the run's current step %d", n, s.next)
+	}
+	for s.next < n {
+		if s.Done() {
+			return fmt.Errorf("core: replay diverged: run finished at step %d before reaching logged step %d", s.next, n)
+		}
+		s.r.step(s.next)
+		s.next++
+	}
+	return nil
 }
 
 // Steps returns the number of control intervals executed so far.

@@ -142,3 +142,85 @@ func TestStepRunForceTrip(t *testing.T) {
 		t.Fatal("unsupervised run accepted ForceTrip")
 	}
 }
+
+// replayOpt builds the shared options of the ReplayTo gate, with a fresh
+// recorder per run.
+func replayOpt(rec *obs.Recorder) RunOptions {
+	return RunOptions{
+		MaxTime:    20 * time.Second,
+		SkipSeries: true,
+		Trace:      rec,
+		Faults:     fault.PresetClass(7, 1.0, "all"),
+	}
+}
+
+// TestReplayToReconstructsCrashedRun is the core-level crash-recovery gate:
+// a run "killed" at step k and rebuilt by ReplayTo(k) on a fresh StepRun,
+// then driven the same way from there (operator trip included), must end
+// byte-identical to a run that was never interrupted — the determinism
+// property the serve layer's write-ahead-log recovery rides.
+func TestReplayToReconstructsCrashedRun(t *testing.T) {
+	p := testPlatform(t)
+	sch := p.SupervisedYuktaSSV(DefaultHWParams(), DefaultOSParams())
+	finish := func(sr *StepRun, rec *obs.Recorder) []byte {
+		t.Helper()
+		sr.Step(4)
+		if !sr.ForceTrip() {
+			t.Fatal("ForceTrip refused")
+		}
+		for !sr.Done() {
+			sr.Step(9)
+		}
+		res := sr.Result()
+		var buf bytes.Buffer
+		if err := rec.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "result: time=%v energy=%v exd=%v completed=%v emergencies=%d faults=%+v\n",
+			res.TimeS, res.EnergyJ, res.ExD, res.Completed, res.EmergencyEvents, res.Faults)
+		fmt.Fprintf(&buf, "supervisor: %+v\n", *res.Supervisor)
+		return buf.Bytes()
+	}
+	mk := func() (*StepRun, *obs.Recorder) {
+		t.Helper()
+		w, err := workload.Lookup("gamess")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := obs.NewRecorder(0)
+		sr, err := NewStepRun(p.Cfg, sch, w, replayOpt(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr, rec
+	}
+
+	// Uninterrupted reference: step to 13, then finish.
+	ref, refRec := mk()
+	if n := ref.Step(13); n != 13 {
+		t.Fatalf("reference advanced %d steps; want 13", n)
+	}
+	want := finish(ref, refRec)
+
+	// Crash at step 13: a fresh run replayed to the same position and driven
+	// identically from there must match byte for byte.
+	const kill = 13
+	crashed, crashedRec := mk()
+	if err := crashed.ReplayTo(kill); err != nil {
+		t.Fatalf("ReplayTo(%d): %v", kill, err)
+	}
+	if crashed.Steps() != kill {
+		t.Fatalf("ReplayTo(%d) left the run at step %d", kill, crashed.Steps())
+	}
+	got := finish(crashed, crashedRec)
+	diffFingerprints(t, fmt.Sprintf("replay@%d", kill), want, got)
+
+	// Rewind and divergence are errors, not silent corruption: the finished
+	// run refuses both a target behind its position and one past its end.
+	if err := crashed.ReplayTo(3); err == nil {
+		t.Fatal("ReplayTo accepted a target behind the current step")
+	}
+	if err := crashed.ReplayTo(crashed.MaxSteps() + 1000); err == nil {
+		t.Fatal("ReplayTo accepted a target beyond the run's end")
+	}
+}

@@ -178,6 +178,14 @@ func LatencyBucketsUS() []float64 {
 	return []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
 }
 
+// SecondsBuckets returns the standard bucket bounds for seconds-scale
+// latencies (crash-recovery session replay is the canonical use: replay
+// runs milliseconds for short sessions up to seconds for long faulted
+// ones).
+func SecondsBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30}
+}
+
 // Registry is a stdlib-only metrics registry: named counters, gauges and
 // histograms created on first use and shared by name afterwards. One
 // Registry aggregates across every run and worker of an experiment session;

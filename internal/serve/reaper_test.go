@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestReapIdle drives the idle-TTL reaper on an injected clock: only
+// sessions past the TTL are closed, their slots and write-ahead logs are
+// released, and activity of any kind (a step, a status read) counts as a
+// touch.
+func TestReapIdle(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(5000, 0)
+	s, ts := newTestServer(t, func(c *Config) {
+		c.DataDir = dir
+		c.IdleTTL = 10 * time.Minute
+		c.MaxSessions = 2
+		c.Now = func() time.Time { return now }
+	})
+
+	busy := create(t, ts, CreateRequest{Scheme: "coordinated", App: "gamess", MaxTimeS: 60})
+	idle := create(t, ts, CreateRequest{Scheme: "decoupled", App: "gamess", MaxTimeS: 60})
+
+	// Touch only the busy session five minutes in.
+	now = now.Add(5 * time.Minute)
+	do(t, "POST", ts.URL+"/v1/sessions/"+busy.ID+"/step", StepRequest{Steps: 3}, nil)
+	if n := s.ReapIdle(); n != 0 {
+		t.Fatalf("reaped %d sessions before any TTL expired", n)
+	}
+
+	// Eleven minutes in, the untouched session is past the TTL.
+	now = now.Add(6 * time.Minute)
+	if n := s.ReapIdle(); n != 1 {
+		t.Fatalf("reaped %d sessions; want exactly the idle one", n)
+	}
+	if code := do(t, "GET", ts.URL+"/v1/sessions/"+idle.ID, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("reaped session GET: status %d; want 404", code)
+	}
+	if code := do(t, "GET", ts.URL+"/v1/sessions/"+busy.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("busy session GET: status %d; want 200", code)
+	}
+	if _, err := os.Stat(sessionWALPath(dir, idle.ID)); !os.IsNotExist(err) {
+		t.Fatalf("reaped session's log still on disk (stat err %v)", err)
+	}
+	snap := s.Registry().Snapshot()
+	if got, _ := snap["serve_sessions_reaped_total"].(int64); got != 1 {
+		t.Fatalf("serve_sessions_reaped_total = %v; want 1", snap["serve_sessions_reaped_total"])
+	}
+
+	// The reaped slot is free again (MaxSessions is 2).
+	create(t, ts, CreateRequest{Scheme: "coordinated", App: "gamess", MaxTimeS: 60})
+
+	// A status read is a touch: the busy session survives another near-TTL
+	// window that would have reaped it without the GET above.
+	now = now.Add(9 * time.Minute)
+	do(t, "GET", ts.URL+"/v1/sessions/"+busy.ID, nil, nil)
+	now = now.Add(2 * time.Minute)
+	if n := s.ReapIdle(); n != 1 { // only the third, untouched session
+		t.Fatalf("second reap closed %d sessions; want 1", n)
+	}
+	if code := do(t, "GET", ts.URL+"/v1/sessions/"+busy.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("touched session reaped (status %d)", code)
+	}
+}
+
+// TestReapIdleDisabled checks the default off switch: with no TTL
+// configured the reaper never touches the table, however stale it gets.
+func TestReapIdleDisabled(t *testing.T) {
+	now := time.Unix(5000, 0)
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Now = func() time.Time { return now }
+	})
+	create(t, ts, CreateRequest{Scheme: "coordinated", App: "gamess", MaxTimeS: 60})
+	now = now.Add(24 * time.Hour)
+	if n := s.ReapIdle(); n != 0 {
+		t.Fatalf("reaper closed %d sessions with no TTL configured", n)
+	}
+}

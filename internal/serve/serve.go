@@ -91,6 +91,20 @@ type Config struct {
 	// 0 means 10000.
 	MaxStepsPerRequest int
 
+	// DataDir enables durability: each session appends its create request
+	// and every mutating operation to an fsync'd write-ahead log under
+	// DataDir/sessions/, and Recover rebuilds live sessions from those logs
+	// by deterministic re-execution after a crash (docs/OPERATIONS.md,
+	// "Durability"). Empty keeps the pre-durability behavior: session state
+	// is in-memory only and a restart loses it.
+	DataDir string
+
+	// IdleTTL enables the idle-session reaper: ReapIdle closes sessions no
+	// client has touched for this long, releasing their global slot (and
+	// discarding their log) instead of leaking capacity until restart.
+	// 0 (the default) disables reaping.
+	IdleTTL time.Duration
+
 	// Metrics receives the server's counters and gauges (and, threaded into
 	// every run, the per-scheme step-latency histograms). Nil creates a
 	// fresh registry; read it back via Registry.
@@ -115,6 +129,14 @@ type Server struct {
 	order    []string // creation order, for deterministic listing and drain
 	nextID   int
 	draining bool
+
+	// recovering fences the API while leftover session logs await replay:
+	// every /v1 endpoint answers 503 recovering until Recover completes, so
+	// clients can never observe (or mutate) a half-recovered session table.
+	recovering bool
+	// pending lists the session log paths New found in DataDir, consumed by
+	// Recover.
+	pending []string
 }
 
 // New validates the configuration, applies defaults, and returns a ready
@@ -157,6 +179,20 @@ func New(cfg Config) (*Server, error) {
 		buckets:  newBuckets(cfg.TenantRate, cfg.TenantBurst, cfg.Now),
 		sessions: map[string]*session{},
 	}
+	if cfg.DataDir != "" {
+		pending, err := scanSessionLogs(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		if len(pending) > 0 {
+			// Leftover logs mean a previous daemon died owning live
+			// sessions. Fence the API until Recover replays them; the
+			// operator decides (cmd/yukta-serve -recover) whether that
+			// happens or the daemon refuses to start.
+			s.pending = pending
+			s.recovering = true
+		}
+	}
 	s.routes()
 	return s, nil
 }
@@ -184,17 +220,20 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // pprof endpoints under /debug/pprof/.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// routes installs the endpoint table.
+// routes installs the endpoint table. Every /v1 handler sits behind the
+// recovery fence: while leftover session logs await replay the daemon
+// answers 503 recovering, so traffic can never observe a half-recovered
+// session table (only /healthz answers, reporting the recovery).
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/trip", s.handleTrip)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/sessions", s.fenced(s.handleCreate))
+	s.mux.HandleFunc("GET /v1/sessions", s.fenced(s.handleList))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.fenced(s.handleGet))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.fenced(s.handleStep))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/trip", s.fenced(s.handleTrip))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.fenced(s.handleTrace))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.fenced(s.handleDelete))
+	s.mux.HandleFunc("GET /v1/metrics", s.fenced(s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -209,8 +248,24 @@ type errorBody struct {
 	Error string `json:"error"`
 	// Code is a stable machine-readable reason: "bad_request",
 	// "unknown_session", "rate_limited", "capacity", "draining",
-	// "not_supervised".
+	// "not_supervised", "recovering", "stale_seq", "wal_error".
 	Code string `json:"code"`
+}
+
+// fenced wraps a /v1 handler with the crash-recovery startup fence.
+func (s *Server) fenced(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		recovering := s.recovering
+		s.mu.Unlock()
+		if recovering {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "recovering",
+				"daemon is replaying session logs; retry shortly")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // writeJSON writes v as a JSON response with the given status.
@@ -301,6 +356,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
 // handleGet is GET /v1/sessions/{id}.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if sess := s.lookup(w, r); sess != nil {
+		sess.touch(s.cfg.Now())
 		writeJSON(w, http.StatusOK, sess.info())
 	}
 }
@@ -320,19 +376,31 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "steps must be positive, got %d", req.Steps)
 		return
 	}
+	if req.Seq < 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "seq must be non-negative, got %d", req.Seq)
+		return
+	}
 	n := req.Steps
 	if n > s.cfg.MaxStepsPerRequest {
 		n = s.cfg.MaxStepsPerRequest
 	}
-	executed := sess.step(n)
-	s.reg.Counter("serve_steps_total").Add(int64(executed))
-	s.reg.Counter("serve_steps_total/" + sess.tenant).Add(int64(executed))
-	writeJSON(w, http.StatusOK, StepResponse{
-		Executed: executed,
-		Steps:    sess.steps(),
-		Done:     sess.done(),
-		SupState: sess.supState(),
-	})
+	resp, executed, cached, errCode := sess.step(r.Context(), n, req.Seq, s.cfg.Now())
+	switch errCode {
+	case "stale_seq":
+		writeError(w, http.StatusConflict, "stale_seq",
+			"seq %d is behind the session's last applied sequence number", req.Seq)
+		return
+	case "wal_error":
+		s.reg.Counter("serve_wal_errors_total").Add(1)
+		writeError(w, http.StatusInternalServerError, "wal_error",
+			"session %s cannot append to its write-ahead log; the session is wedged", sess.id)
+		return
+	}
+	if !cached {
+		s.reg.Counter("serve_steps_total").Add(int64(executed))
+		s.reg.Counter("serve_steps_total/" + sess.tenant).Add(int64(executed))
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleTrip is POST /v1/sessions/{id}/trip.
@@ -341,7 +409,13 @@ func (s *Server) handleTrip(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	forced := sess.forceTrip()
+	forced, walOK := sess.forceTrip(s.cfg.Now())
+	if !walOK {
+		s.reg.Counter("serve_wal_errors_total").Add(1)
+		writeError(w, http.StatusInternalServerError, "wal_error",
+			"session %s cannot append to its write-ahead log; the session is wedged", sess.id)
+		return
+	}
 	if !forced {
 		writeError(w, http.StatusConflict, "not_supervised",
 			"session %s cannot trip: scheme is unsupervised or the run already finished", sess.id)
@@ -359,6 +433,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
+	sess.touch(s.cfg.Now())
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if err := sess.writeTrace(w); err != nil {
 		// Headers are gone; nothing to do but drop the connection.
@@ -366,25 +441,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleDelete is DELETE /v1/sessions/{id}.
+// handleDelete is DELETE /v1/sessions/{id}. The session's write-ahead log
+// is removed with it: an explicit close discards state on purpose, so the
+// next recovery has nothing to replay for it.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	sess := s.sessions[id]
-	if sess != nil {
-		delete(s.sessions, id)
-		for i, oid := range s.order {
-			if oid == id {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
-	}
-	s.mu.Unlock()
+	sess := s.unregister(id)
 	if sess == nil {
 		writeError(w, http.StatusNotFound, "unknown_session", "no session %q", id)
 		return
 	}
+	sess.closeLog(true)
 	s.slots.Release()
 	s.reg.Counter("serve_sessions_closed_total").Add(1)
 	s.reg.Gauge("serve_sessions_live").Set(int64(s.slots.InUse()))
@@ -419,14 +486,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(b.String()))
 }
 
-// handleHealthz is GET /healthz.
+// handleHealthz is GET /healthz. It answers even behind the recovery fence
+// — status "recovering" — so orchestrators and waiting clients can watch
+// the replay finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
+	recovering := s.recovering
 	n := len(s.sessions)
 	s.mu.Unlock()
+	status := "ok"
+	if recovering {
+		status = "recovering"
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:   "ok",
+		Status:   status,
 		Sessions: n,
 		Draining: draining,
 	})

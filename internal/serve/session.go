@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -119,6 +120,14 @@ type StepRequest struct {
 	// Steps is how many control intervals to advance (capped by the server's
 	// MaxStepsPerRequest; must be positive).
 	Steps int `json:"steps"`
+	// Seq is an optional client idempotency sequence number, strictly
+	// increasing per session. A request retried with the sequence number the
+	// server last applied returns the recorded outcome without advancing the
+	// run again, so a client that lost a response (timeout, daemon crash) can
+	// retry safely; a sequence number older than the last applied one is
+	// rejected with 409 stale_seq. 0 (or omitted) disables idempotency for
+	// the request.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // StepResponse is the step endpoint's body.
@@ -155,7 +164,8 @@ type CloseResponse struct {
 
 // HealthResponse is the GET /healthz body.
 type HealthResponse struct {
-	// Status is "ok" while the daemon serves traffic.
+	// Status is "ok" while the daemon serves traffic, "recovering" while
+	// leftover session logs are being replayed behind the startup fence.
 	Status string `json:"status"`
 	// Sessions is the number of open sessions.
 	Sessions int `json:"sessions"`
@@ -163,8 +173,9 @@ type HealthResponse struct {
 	Draining bool `json:"draining"`
 }
 
-// session is one hosted board run: a core.StepRun plus its recorder, guarded
-// by a per-session lock (the StepRun itself is single-owner state).
+// session is one hosted board run: a core.StepRun plus its recorder and
+// (when the daemon runs durable) its write-ahead log, guarded by a
+// per-session lock (the StepRun itself is single-owner state).
 type session struct {
 	id     string
 	tenant string
@@ -175,22 +186,46 @@ type session struct {
 	run     *core.StepRun
 	rec     *obs.Recorder
 	drained bool
+
+	// log is the session's write-ahead log; nil when the daemon runs without
+	// a data dir (state is then in-memory only, the pre-durability behavior).
+	log *wal
+	// ops is the coalesced logical operation history (coalesceOps form),
+	// maintained alongside the log so compaction never has to re-read disk.
+	ops []walRecord
+	// wedged is set when a log append fails: the durability contract cannot
+	// be kept, so the session refuses further mutations (500 wal_error).
+	wedged bool
+	// lastSeq and lastResp implement idempotent step sequencing: the highest
+	// client sequence number applied and the outcome to replay for a retry.
+	lastSeq  int64
+	lastResp StepResponse
+	// lastActive is the last time a client touched this session (any
+	// session-scoped request), read by the idle-TTL reaper.
+	lastActive time.Time
 }
 
-// newSession validates the request against the scheme/workload/fault
-// catalogs, builds the StepRun, and registers the session.
-func (s *Server) newSession(tenant string, req CreateRequest) (*session, error) {
+// stepChunk bounds how many intervals run between context-cancellation
+// checks while serving one step request, so a disconnected client stops
+// consuming CPU within a bounded number of intervals.
+const stepChunk = 128
+
+// buildRun validates a create request against the scheme/workload/fault
+// catalogs and constructs its StepRun plus optional recorder. It is the
+// single construction path for both fresh creates and WAL recovery, so a
+// replayed session is built by exactly the code that built the original.
+func (s *Server) buildRun(req CreateRequest) (*core.StepRun, *obs.Recorder, error) {
 	sch, ok := s.cfg.Schemes[req.Scheme]
 	if !ok {
-		return nil, fmt.Errorf("unknown scheme %q", req.Scheme)
+		return nil, nil, fmt.Errorf("unknown scheme %q", req.Scheme)
 	}
 	w, err := lookupWorkload(req.App)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opt := core.RunOptions{SkipSeries: true}
 	if req.IntervalMS < 0 || req.MaxTimeS < 0 {
-		return nil, fmt.Errorf("interval_ms and max_time_s must be non-negative")
+		return nil, nil, fmt.Errorf("interval_ms and max_time_s must be non-negative")
 	}
 	if req.IntervalMS > 0 {
 		opt.Interval = time.Duration(req.IntervalMS) * time.Millisecond
@@ -199,20 +234,20 @@ func (s *Server) newSession(tenant string, req CreateRequest) (*session, error) 
 		opt.MaxTime = time.Duration(req.MaxTimeS * float64(time.Second))
 	}
 	if eng, err := core.ParseEngine(req.Engine); err != nil {
-		return nil, err
+		return nil, nil, err
 	} else {
 		opt.Engine = eng
 	}
 	if req.FaultClass != "" {
 		if !fault.ValidClass(req.FaultClass) {
-			return nil, fmt.Errorf("unknown fault_class %q (want one of %v)", req.FaultClass, fault.ClassNames())
+			return nil, nil, fmt.Errorf("unknown fault_class %q (want one of %v)", req.FaultClass, fault.ClassNames())
 		}
 		intensity := req.FaultIntensity
 		if intensity == 0 {
 			intensity = 1.0
 		}
 		if intensity < 0 {
-			return nil, fmt.Errorf("fault_intensity must be non-negative")
+			return nil, nil, fmt.Errorf("fault_intensity must be non-negative")
 		}
 		seed := req.FaultSeed
 		if seed == 0 {
@@ -220,7 +255,7 @@ func (s *Server) newSession(tenant string, req CreateRequest) (*session, error) 
 		}
 		opt.Faults = fault.PresetClass(seed, intensity, req.FaultClass)
 	} else if req.FaultIntensity != 0 || req.FaultSeed != 0 {
-		return nil, fmt.Errorf("fault_intensity/fault_seed require fault_class")
+		return nil, nil, fmt.Errorf("fault_intensity/fault_seed require fault_class")
 	}
 	var rec *obs.Recorder
 	if req.TraceCapacity >= 0 {
@@ -230,14 +265,27 @@ func (s *Server) newSession(tenant string, req CreateRequest) (*session, error) 
 	opt.Metrics = s.reg
 	run, err := core.NewStepRun(s.cfg.Platform.Cfg, sch, w, opt)
 	if err != nil {
+		return nil, nil, err
+	}
+	return run, rec, nil
+}
+
+// newSession validates the request, builds the StepRun, registers the
+// session, and — when the daemon runs durable — creates its write-ahead log
+// and fsyncs the create record before returning, so an acknowledged create
+// survives a crash.
+func (s *Server) newSession(tenant string, req CreateRequest) (*session, error) {
+	run, rec, err := s.buildRun(req)
+	if err != nil {
 		return nil, err
 	}
 	sess := &session{
-		tenant: tenant,
-		scheme: req.Scheme,
-		app:    req.App,
-		run:    run,
-		rec:    rec,
+		tenant:     tenant,
+		scheme:     req.Scheme,
+		app:        req.App,
+		run:        run,
+		rec:        rec,
+		lastActive: s.cfg.Now(),
 	}
 	s.mu.Lock()
 	s.nextID++
@@ -245,7 +293,42 @@ func (s *Server) newSession(tenant string, req CreateRequest) (*session, error) 
 	s.sessions[sess.id] = sess
 	s.order = append(s.order, sess.id)
 	s.mu.Unlock()
+	if s.cfg.DataDir != "" {
+		createRec := walRecord{T: walOpCreate, Tenant: tenant, Req: &req}
+		log, err := createWAL(sessionWALPath(s.cfg.DataDir, sess.id))
+		if err == nil {
+			err = log.append(createRec)
+		}
+		if err != nil {
+			if log != nil {
+				log.remove()
+			}
+			s.unregister(sess.id)
+			return nil, fmt.Errorf("session log: %v", err)
+		}
+		sess.log = log
+		sess.ops = []walRecord{createRec}
+	}
 	return sess, nil
+}
+
+// unregister removes a session from the table and creation order (the
+// caller handles slot release and log cleanup).
+func (s *Server) unregister(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	if sess == nil {
+		return nil
+	}
+	delete(s.sessions, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return sess
 }
 
 // lookupWorkload resolves an app or heterogeneous-mix name.
@@ -256,6 +339,40 @@ func lookupWorkload(name string) (workload.Workload, error) {
 		}
 	}
 	return workload.Lookup(name)
+}
+
+// logOp durably appends one operation to the session's write-ahead log (a
+// no-op without one), folds it into the coalesced history, and compacts the
+// log once it has grown compactThreshold records past that history. A
+// failed append wedges the session: its in-memory state has advanced past
+// what the log captures, so acknowledging further mutations would break the
+// recovery contract. Callers hold se.mu.
+func (se *session) logOp(rec walRecord) {
+	if se.wedged {
+		// The log already lags the in-memory state; appending more records
+		// would hide the gap and corrupt recovery.
+		return
+	}
+	se.ops = coalesceOps(append(se.ops, rec))
+	if se.log == nil {
+		return
+	}
+	if err := se.log.append(rec); err != nil {
+		se.wedged = true
+		return
+	}
+	if se.log.appended >= len(se.ops)+compactThreshold {
+		// Compaction failure is not fatal: the uncompacted log is still a
+		// complete, valid history.
+		_ = se.log.compact(se.ops)
+	}
+}
+
+// touch resets the idle clock (any session-scoped client request).
+func (se *session) touch(now time.Time) {
+	se.mu.Lock()
+	se.lastActive = now
+	se.mu.Unlock()
 }
 
 // info snapshots the session's status document.
@@ -294,11 +411,59 @@ func (se *session) info() SessionInfo {
 	return info
 }
 
-// step advances the run by up to n intervals under the session lock.
-func (se *session) step(n int) int {
+// step advances the run by up to n intervals under the session lock,
+// checking ctx between stepChunk-sized chunks so a cancelled request (client
+// gone, server timeout) stops promptly instead of pinning the handler for
+// the whole batch. Whatever executed — full, partial, or nothing — is
+// durably logged before the call returns, so an acknowledged response never
+// outruns the log.
+//
+// seq implements idempotent sequencing: a retry of the last applied
+// sequence number returns the recorded outcome without re-executing
+// (cached=true), and a stale number fails with errCode "stale_seq". A
+// wedged session (log append failed) refuses with "wal_error". On success
+// executed reports how many intervals this call ran, for metrics.
+func (se *session) step(ctx context.Context, n int, seq int64, now time.Time) (resp StepResponse, executed int, cached bool, errCode string) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	return se.run.Step(n)
+	se.lastActive = now
+	if se.wedged {
+		return resp, 0, false, "wal_error"
+	}
+	if seq > 0 && seq == se.lastSeq {
+		return se.lastResp, 0, true, ""
+	}
+	if seq > 0 && seq < se.lastSeq {
+		return resp, 0, false, "stale_seq"
+	}
+	for executed < n && !se.run.Done() {
+		chunk := stepChunk
+		if rem := n - executed; rem < chunk {
+			chunk = rem
+		}
+		executed += se.run.Step(chunk)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if executed > 0 || seq > 0 {
+		se.logOp(walRecord{T: walOpStep, N: executed, Seq: seq})
+		if se.wedged {
+			return resp, executed, false, "wal_error"
+		}
+	}
+	resp = StepResponse{
+		Executed: executed,
+		Steps:    se.run.Steps(),
+		Done:     se.run.Done(),
+	}
+	if st, ok := se.run.SupervisorState(); ok {
+		resp.SupState = st.String()
+	}
+	if seq > 0 {
+		se.lastSeq, se.lastResp = seq, resp
+	}
+	return resp, executed, false, ""
 }
 
 // steps returns the executed interval count.
@@ -325,11 +490,21 @@ func (se *session) supState() string {
 	return ""
 }
 
-// forceTrip arms an operator-forced supervisor trip.
-func (se *session) forceTrip() bool {
+// forceTrip arms an operator-forced supervisor trip and logs it. A wedged
+// session refuses (walOK=false) so the trip cannot be acknowledged without
+// being durable.
+func (se *session) forceTrip(now time.Time) (forced, walOK bool) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	return se.run.ForceTrip()
+	se.lastActive = now
+	if se.wedged {
+		return false, false
+	}
+	if !se.run.ForceTrip() {
+		return false, true
+	}
+	se.logOp(walRecord{T: walOpTrip})
+	return true, !se.wedged
 }
 
 // writeTrace streams the retained flight-recorder window as JSONL.
@@ -345,16 +520,39 @@ func (se *session) writeTrace(w io.Writer) error {
 // drain walks the session through the supervisory staged fallback: force an
 // operator trip (supervised schemes), then settle for up to drainSteps
 // intervals so the fallback's conservative posture is in effect at shutdown.
-// Finished sessions drain trivially.
+// Finished sessions drain trivially. The trip, the settling intervals and
+// the drain marker are all logged, so a daemon restarted after a drain
+// recovers each session in its settled post-fallback state.
 func (se *session) drain(drainSteps int) (tripped bool) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	if !se.run.Done() {
+	if !se.run.Done() && !se.wedged {
 		tripped = se.run.ForceTrip()
 		if tripped {
-			se.run.Step(drainSteps)
+			se.logOp(walRecord{T: walOpTrip})
+			if n := se.run.Step(drainSteps); n > 0 {
+				se.logOp(walRecord{T: walOpStep, N: n})
+			}
 		}
 	}
 	se.drained = true
+	se.logOp(walRecord{T: walOpDrain})
 	return tripped
+}
+
+// closeLog closes the session's write-ahead log handle, deleting the file
+// when discard is set (explicit DELETE and the idle reaper discard state;
+// shutdown keeps it for the next daemon's recovery).
+func (se *session) closeLog(discard bool) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.log == nil {
+		return
+	}
+	if discard {
+		se.log.remove()
+	} else {
+		se.log.close()
+	}
+	se.log = nil
 }
