@@ -30,14 +30,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"yukta/internal/board"
+	"yukta/internal/client"
 	"yukta/internal/core"
 	"yukta/internal/obs"
 	"yukta/internal/serve"
@@ -55,9 +58,21 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durable session-state directory (per-session write-ahead logs); empty disables durability")
 		doRecover   = flag.Bool("recover", false, "replay the session write-ahead logs left in -data-dir before accepting traffic")
 		idleTTL     = flag.Duration("idle-ttl", 0, "close sessions idle longer than this, freeing their slots (0 disables)")
+		logFormat   = flag.String("log", "text", "structured-log format on stderr: text, json, or off")
+		version     = flag.Bool("version", false, "print build identity (version/revision + Go toolchain) and exit")
 		smoke       = flag.Bool("smoke", false, "self-test: start the daemon, exercise the API end to end (crash recovery included), drain, exit")
 	)
 	flag.Parse()
+
+	if *version {
+		v, goVersion := serve.BuildInfo()
+		fmt.Printf("yukta-serve %s (%s)\n", v, goVersion)
+		return
+	}
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
 
 	fmt.Fprintln(os.Stderr, "yukta-serve: building platform (identification + synthesis)...")
 	p, err := core.NewPlatform(board.DefaultConfig(), core.DefaultIdentifyOptions())
@@ -74,6 +89,7 @@ func main() {
 		MaxStepsPerRequest: *maxStep,
 		DataDir:            *dataDir,
 		IdleTTL:            *idleTTL,
+		Log:                logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -238,6 +254,12 @@ func runSmoke(srv *serve.Server, p *core.Platform) error {
 		return fmt.Errorf("metrics missing serve_sessions_created_total/default")
 	}
 
+	// The Prometheus exposition must parse strictly, agree with the JSON
+	// snapshot on every counter, and a live /watch stream must deliver.
+	if err := smokeTelemetry(base); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+
 	// Crash-recovery round trip on a scratch data dir: create and partially
 	// step a durable session, abandon the daemon without any shutdown, and
 	// verify a fresh daemon over the same dir replays it to the exact step.
@@ -352,6 +374,120 @@ func smokeRecovery(p *core.Platform) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return hsB.Shutdown(ctx)
+}
+
+// buildLogger maps the -log flag onto a slog.Logger writing to stderr ("off"
+// returns nil, which serve.New replaces with a discarding logger).
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown -log format %q (want text, json or off)", format)
+}
+
+// smokeTelemetry is the observability leg of the smoke test: scrape the
+// Prometheus exposition, parse it strictly, verify every counter in the JSON
+// snapshot appears in the scrape with the identical value (single-source
+// check), then watch a live session's event stream to its done sentinel.
+func smokeTelemetry(base string) error {
+	// Drift check: JSON snapshot first, then the scrape. Nothing between the
+	// two requests increments a counter (request telemetry records only
+	// histograms), so every counter must agree exactly.
+	var snap map[string]any
+	if err := call("GET", base+"/v1/metrics", "", &snap, http.StatusOK); err != nil {
+		return err
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	samples, err := obs.ParsePrometheus(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("/metrics failed the exposition-format parse: %w", err)
+	}
+	byKey := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	counters := 0
+	for name, v := range snap {
+		val, ok := v.(float64)
+		if !ok {
+			continue // gauges and histograms render as objects
+		}
+		got, ok := byKey[promKey(name)]
+		if !ok {
+			return fmt.Errorf("counter %q missing from /metrics (looked for %q)", name, promKey(name))
+		}
+		if got != val {
+			return fmt.Errorf("counter %q drifted: /v1/metrics %v, /metrics %v", name, val, got)
+		}
+		counters++
+	}
+	if counters == 0 {
+		return fmt.Errorf("no counters to compare between /v1/metrics and /metrics")
+	}
+	fmt.Fprintf(os.Stderr, "yukta-serve: smoke /metrics parses, %d counters agree with /v1/metrics\n", counters)
+
+	// Live watch: stream a fresh session while stepping it, and require at
+	// least one record plus the done sentinel.
+	c := client.New(client.Config{Base: base})
+	sess, _, err := c.CreateSession(serve.CreateRequest{Scheme: "coordinated", App: "mcf", MaxTimeS: 10})
+	if err != nil {
+		return err
+	}
+	watched := 0
+	watchErr := make(chan error, 1)
+	connected := make(chan struct{})
+	go func() {
+		watchErr <- sess.Watch(context.Background(), func(rec []byte) error {
+			watched++
+			return nil
+		}, client.WatchConnected(connected))
+	}()
+	select {
+	case <-connected:
+	case err := <-watchErr:
+		return fmt.Errorf("watch stream failed to attach: %w", err)
+	}
+	steps, err := sess.StepToDone(7)
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-watchErr:
+		if err != nil {
+			return fmt.Errorf("watch stream: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("watch stream never reached its done sentinel")
+	}
+	// Attached before the first step, so the stream must carry the whole run.
+	if watched != steps {
+		return fmt.Errorf("watch stream delivered %d records; run executed %d intervals", watched, steps)
+	}
+	fmt.Fprintf(os.Stderr, "yukta-serve: smoke watch streamed %d/%d records to done\n", watched, steps)
+	return nil
+}
+
+// promKey maps a registry counter name onto its Prometheus sample key
+// ("serve_steps_total/default" → `serve_steps_total{key="default"}`).
+func promKey(name string) string {
+	family, key, ok := strings.Cut(name, "/")
+	if !ok {
+		return family
+	}
+	return fmt.Sprintf("%s{key=%q}", family, key)
 }
 
 // call issues one JSON request, checks the status, and decodes into out.

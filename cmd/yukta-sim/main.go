@@ -24,6 +24,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +61,7 @@ func main() {
 		record    = flag.String("record", "", "write the flight-recorder decision log to this JSONL path and print its timeline")
 		engine    = flag.String("engine", "", "simulation engine: event (default) or lockstep; both are byte-identical in results and traces")
 		via       = flag.String("via", "", "base URL of a running yukta-serve daemon; runs the session there instead of in-process")
+		watch     = flag.Bool("watch", false, "with -via: stream the hosted session's live event feed and render each interval as it executes")
 		list      = flag.Bool("list", false, "list workloads and schemes")
 	)
 	flag.Parse()
@@ -80,10 +83,13 @@ func main() {
 		if *trace || *noise > 0 {
 			fatal(fmt.Errorf("-trace and -noise are local-only; the hosted path runs scalar sessions"))
 		}
-		if err := runVia(*via, *scheme, *app, *engine, *maxTime, *faults, *faultSeed, *record); err != nil {
+		if err := runVia(*via, *scheme, *app, *engine, *maxTime, *faults, *faultSeed, *record, *watch); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *watch {
+		fatal(fmt.Errorf("-watch streams a hosted session; pair it with -via"))
 	}
 
 	fmt.Fprintln(os.Stderr, "building platform (identification + synthesis)...")
@@ -151,7 +157,7 @@ func main() {
 // determinism gate), so -record output is interchangeable between paths.
 // Steps ride the hardened client's idempotent retry loop, which also makes
 // the drive survive a daemon crash-and-recover in the middle of the run.
-func runVia(base, scheme, app, engine string, maxTime time.Duration, faults float64, faultSeed int64, record string) error {
+func runVia(base, scheme, app, engine string, maxTime time.Duration, faults float64, faultSeed int64, record string, watch bool) error {
 	c := client.New(client.Config{
 		Base:       base,
 		JitterSeed: time.Now().UnixNano(),
@@ -178,8 +184,41 @@ func runVia(base, scheme, app, engine string, maxTime time.Duration, faults floa
 	}
 	fmt.Fprintf(os.Stderr, "session %s on %s\n", info.ID, base)
 
+	var watchDone chan error
+	var watchCancel context.CancelFunc
+	if watch {
+		var ctx context.Context
+		ctx, watchCancel = context.WithCancel(context.Background())
+		defer watchCancel()
+		watchDone = make(chan error, 1)
+		connected := make(chan struct{})
+		go func() {
+			watchDone <- sess.Watch(ctx, renderWatchRecord, client.WatchConnected(connected))
+		}()
+		// Don't step until the stream is attached, or the first intervals
+		// (or, for a short run, the whole thing) would execute unwatched.
+		select {
+		case <-connected:
+		case err := <-watchDone:
+			return fmt.Errorf("watch stream failed to attach: %w", err)
+		}
+	}
+
 	if _, err := sess.StepToDone(500); err != nil {
 		return err
+	}
+	if watchDone != nil {
+		// The server closes the stream with its done sentinel once the run
+		// completes; give a wedged stream a bounded grace period.
+		select {
+		case err := <-watchDone:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "yukta-sim: watch stream: %v\n", err)
+			}
+		case <-time.After(30 * time.Second):
+			watchCancel()
+			fmt.Fprintln(os.Stderr, "yukta-sim: watch stream never finished; abandoned")
+		}
 	}
 
 	fin, err := sess.Info()
@@ -222,6 +261,36 @@ func runVia(base, scheme, app, engine string, maxTime time.Duration, faults floa
 	}
 	// Free the daemon's session slot.
 	return sess.Delete()
+}
+
+// renderWatchRecord prints one live interval from the -watch event stream as
+// a compact timeline line. Each payload is a flight-record JSONL line
+// (byte-identical to the /trace export), so only the displayed fields are
+// decoded.
+func renderWatchRecord(raw []byte) error {
+	var rec struct {
+		Step     int     `json:"step"`
+		TimeS    float64 `json:"t_s"`
+		BigW     float64 `json:"big_w"`
+		LittleW  float64 `json:"little_w"`
+		TempC    float64 `json:"temp_c"`
+		BIPS     float64 `json:"bips"`
+		SupState string  `json:"sup_state"`
+		Tripped  bool    `json:"sup_tripped"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return fmt.Errorf("undecodable watch record: %w", err)
+	}
+	line := fmt.Sprintf("watch step %4d  t=%7.1fs  P=%5.2fW  T=%5.1f°C  bips=%6.3f",
+		rec.Step, rec.TimeS, rec.BigW+rec.LittleW, rec.TempC, rec.BIPS)
+	if rec.SupState != "" {
+		line += "  sup=" + rec.SupState
+		if rec.Tripped {
+			line += " TRIP"
+		}
+	}
+	fmt.Fprintln(os.Stderr, line)
+	return nil
 }
 
 // writeRecord persists the flight recorder's decision log as JSONL.

@@ -81,7 +81,7 @@ func TestRunViaSurvivesDaemonCrash(t *testing.T) {
 	defer front.Close()
 
 	record := filepath.Join(t.TempDir(), "run.jsonl")
-	if err := runVia(front.URL, "coordinated", "gamess", "", 30*time.Second, 1.0, 7, record); err != nil {
+	if err := runVia(front.URL, "coordinated", "gamess", "", 30*time.Second, 1.0, 7, record, false); err != nil {
 		t.Fatalf("runVia across the crash: %v", err)
 	}
 

@@ -22,7 +22,11 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +34,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -174,11 +179,29 @@ func (c *Client) logf(format string, args ...any) {
 	}
 }
 
+// requestIDHeader is the serve daemon's correlation-ID header. The client
+// mints one ID per logical request and pins it across every retry attempt,
+// so the daemon's request log shows one correlation ID per client intent —
+// a retried step is traceable end to end.
+const requestIDHeader = "X-Request-ID"
+
+// mintRequestID generates a correlation ID for one logical request: 8
+// random bytes, hex (the same shape the daemon mints for clients that send
+// none).
+func mintRequestID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "rid-fallback"
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // do issues one JSON request with the retry policy. retryTransport marks
 // the request safe to re-send after a transport error (idempotent by
 // nature or by sequence number); retryable server rejections (429, 503
 // except draining) are always retried, waiting the longer of the computed
-// backoff and the server's Retry-After.
+// backoff and the server's Retry-After. Every attempt of one do call
+// carries the same freshly minted X-Request-ID.
 func (c *Client) do(method, path string, body, out any, want int, retryTransport bool) error {
 	var payload []byte
 	if body != nil {
@@ -187,6 +210,7 @@ func (c *Client) do(method, path string, body, out any, want int, retryTransport
 			return err
 		}
 	}
+	rid := mintRequestID()
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
 		if payload != nil {
@@ -197,6 +221,7 @@ func (c *Client) do(method, path string, body, out any, want int, retryTransport
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(requestIDHeader, rid)
 
 		var failErr error
 		retryable := false
@@ -323,8 +348,14 @@ func (s *Session) Trip() (serve.TripResponse, error) {
 // WriteTrace streams the session's JSONL trace into w, retrying transport
 // errors and retryable rejections like any idempotent read.
 func (s *Session) WriteTrace(w io.Writer) error {
+	rid := mintRequestID()
 	for attempt := 0; ; attempt++ {
-		resp, err := s.c.httpc.Get(s.c.cfg.Base + "/v1/sessions/" + s.ID + "/trace")
+		req, err := http.NewRequest("GET", s.c.cfg.Base+"/v1/sessions/"+s.ID+"/trace", nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set(requestIDHeader, rid)
+		resp, err := s.c.httpc.Do(req)
 		var failErr error
 		retryable := false
 		serverWait := time.Duration(0)
@@ -357,6 +388,83 @@ func (s *Session) WriteTrace(w io.Writer) error {
 		s.c.logf("GET trace: retry %d/%d in %v: %v", attempt+1, s.c.cfg.MaxAttempts, d.Round(time.Millisecond), failErr)
 		s.c.cfg.Sleep(d)
 	}
+}
+
+// WatchOption configures Session.Watch.
+type WatchOption func(*watchOpts)
+
+// watchOpts is the resolved Watch configuration.
+type watchOpts struct {
+	connected chan<- struct{}
+}
+
+// WatchConnected arranges for ch to be closed once the stream is
+// established — the daemon has registered the watcher, so records produced
+// by step requests issued after the close cannot be missed. Without it, a
+// Watch raced against stepping from another goroutine may attach after
+// early intervals (or after the whole run) have executed.
+func WatchConnected(ch chan<- struct{}) WatchOption {
+	return func(o *watchOpts) { o.connected = ch }
+}
+
+// Watch opens the session's live event stream (GET
+// /v1/sessions/{id}/watch, a text/event-stream of per-interval flight
+// records) and calls fn with each record's JSON payload until the server
+// sends its done sentinel, the stream breaks, ctx is cancelled, or fn
+// returns an error. Each payload line is byte-identical to the
+// corresponding trace JSONL line; the bytes passed to fn are only valid for
+// the duration of the call. Watch does not retry: a live stream that broke
+// has already missed intervals, and the caller decides whether to re-attach.
+func (s *Session) Watch(ctx context.Context, fn func(record []byte) error, opts ...WatchOption) error {
+	var wo watchOpts
+	for _, o := range opts {
+		o(&wo)
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		s.c.cfg.Base+"/v1/sessions/"+s.ID+"/watch", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(requestIDHeader, mintRequestID())
+	resp, err := s.c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return &StatusError{StatusCode: resp.StatusCode, Code: envelopeCode(raw),
+			Body: string(bytes.TrimSpace(raw))}
+	}
+	if wo.connected != nil {
+		close(wo.connected)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	done := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Event separator.
+		case strings.HasPrefix(line, "event: done"):
+			done = true
+		case strings.HasPrefix(line, "data: "):
+			if done {
+				return nil // the sentinel's payload carries no record
+			}
+			if err := fn([]byte(strings.TrimPrefix(line, "data: "))); err != nil {
+				return err
+			}
+		}
+	}
+	if done {
+		return nil
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("watch stream for session %s ended without the done sentinel", s.ID)
 }
 
 // Delete closes the session, freeing its server slot. A 404 is treated as

@@ -1,10 +1,12 @@
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -172,5 +174,115 @@ func TestDeleteTolerates404(t *testing.T) {
 	)
 	if err := c.Attach("s-9").Delete(); err != nil {
 		t.Fatalf("delete of an already-gone session: %v", err)
+	}
+}
+
+// TestRequestIDPinnedAcrossRetries checks the correlation-ID retry
+// contract: one logical call carries one X-Request-ID across every retry
+// attempt (so the server's log lines for the retries correlate), and a new
+// logical call mints a fresh one.
+func TestRequestIDPinnedAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var rids []string
+	responses := []func(http.ResponseWriter){
+		reject(http.StatusServiceUnavailable, "", `{"error":"replaying","code":"recovering"}`),
+		ok(`{"executed":3,"steps":3,"done":false}`),
+		ok(`{"executed":3,"steps":6,"done":false}`),
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		rids = append(rids, r.Header.Get("X-Request-ID"))
+		next := responses[0]
+		responses = responses[1:]
+		mu.Unlock()
+		next(w)
+	}))
+	t.Cleanup(ts.Close)
+	c := New(Config{Base: ts.URL, MaxAttempts: 5, Sleep: func(time.Duration) {}})
+	sess := c.Attach("s-1")
+
+	if _, err := sess.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(rids) != 3 {
+		t.Fatalf("server saw %d requests, want 3", len(rids))
+	}
+	if rids[0] == "" {
+		t.Fatal("client sent no X-Request-ID")
+	}
+	if rids[0] != rids[1] {
+		t.Errorf("retry changed the request ID: %q then %q", rids[0], rids[1])
+	}
+	if rids[2] == rids[0] {
+		t.Errorf("second logical call reused the first call's ID %q", rids[2])
+	}
+}
+
+// TestWatchStream replays a canned /watch event stream: every data payload
+// reaches the callback and the done sentinel ends the stream cleanly.
+func TestWatchStream(t *testing.T) {
+	stream := "data: {\"step\":0,\"t_s\":0.5}\n\n" +
+		"data: {\"step\":1,\"t_s\":1}\n\n" +
+		"event: done\ndata: {}\n\n"
+	c, srv, _ := newScriptedClient(t, func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(stream))
+	})
+	var got []string
+	connected := make(chan struct{})
+	err := c.Attach("s-1").Watch(context.Background(), func(record []byte) error {
+		got = append(got, string(record))
+		return nil
+	}, WatchConnected(connected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-connected:
+	default:
+		t.Error("WatchConnected channel not closed on an established stream")
+	}
+	if srv.calls != 1 {
+		t.Fatalf("watch made %d requests, want 1 (no retry on a stream)", srv.calls)
+	}
+	want := []string{`{"step":0,"t_s":0.5}`, `{"step":1,"t_s":1}`}
+	if len(got) != len(want) {
+		t.Fatalf("callback saw %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWatchTruncatedStream: a stream that ends without the done sentinel
+// (daemon died mid-watch) must surface an error, not a silent clean return.
+func TestWatchTruncatedStream(t *testing.T) {
+	c, _, _ := newScriptedClient(t, func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("data: {\"step\":0}\n\n"))
+	})
+	err := c.Attach("s-1").Watch(context.Background(), func([]byte) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "done sentinel") {
+		t.Fatalf("truncated stream returned %v; want a missing-sentinel error", err)
+	}
+}
+
+// TestWatchErrorStatus: a non-200 watch response decodes into a StatusError
+// like any other endpoint.
+func TestWatchErrorStatus(t *testing.T) {
+	c, _, _ := newScriptedClient(t,
+		reject(http.StatusNotFound, "", `{"error":"no such session","code":"unknown_session"}`))
+	err := c.Attach("s-404").Watch(context.Background(), func([]byte) error { return nil })
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != "unknown_session" {
+		t.Fatalf("err = %v; want an unknown_session StatusError", err)
 	}
 }

@@ -25,6 +25,8 @@ import (
 type StepRun struct {
 	r    *soloRun
 	next int
+	// hook, when set, observes each interval Step executes (see SetStepHook).
+	hook func(step int)
 }
 
 // NewStepRun builds an incrementally driven run from the same inputs as Run.
@@ -49,9 +51,20 @@ func (s *StepRun) Step(n int) int {
 	for ; done < n && s.next < s.r.maxSteps && !s.r.w.Done(); done++ {
 		s.r.step(s.next)
 		s.next++
+		if s.hook != nil {
+			s.hook(s.next - 1)
+		}
 	}
 	return done
 }
+
+// SetStepHook installs fn to be called after every interval Step executes,
+// with the index of the interval that just ran — the serve layer's live
+// session streaming rides it. Pass nil to remove. The hook observes only: it
+// runs after the interval body and the flight-recorder append, so it cannot
+// perturb the simulation, and the deterministic-replay path (ReplayTo) never
+// invokes it. When no hook is set the cost is one nil check per interval.
+func (s *StepRun) SetStepHook(fn func(step int)) { s.hook = fn }
 
 // ReplayTo advances the run to exactly step n, the recovery primitive of
 // the serve layer's write-ahead log: because the interval sequence is

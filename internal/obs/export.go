@@ -139,6 +139,40 @@ func fieldNames[T any](schema []fieldSpec[T]) []string {
 // and documentation tooling.
 func SchemaFields() []string { return fieldNames(schema) }
 
+// appendJSONObject appends one record's JSON object encoding (no trailing
+// newline), fields in schema order, skipping optional fields unless
+// includeOptional is set. The single encoder behind WriteJSONL and
+// AppendRecordJSON, so a live-streamed record and a trace line cannot differ.
+func appendJSONObject[T any](buf []byte, schema []fieldSpec[T], rec *T,
+	includeOptional bool) []byte {
+
+	start := len(buf)
+	buf = append(buf, '{')
+	for fi := range schema {
+		f := &schema[fi]
+		if f.optional && !includeOptional {
+			continue
+		}
+		if len(buf) > start+1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '"')
+		buf = append(buf, f.name...)
+		buf = append(buf, '"', ':')
+		buf = f.appendTo(buf, rec)
+	}
+	return append(buf, '}')
+}
+
+// AppendRecordJSON appends one flight record's JSONL encoding (without the
+// trailing newline) to buf and returns the extended slice. The encoding is
+// byte-identical to the corresponding WriteJSONL line with IncludeLatency
+// unset — live session streaming uses it so a watched record matches the
+// trace export exactly.
+func AppendRecordJSON(buf []byte, r *Record) []byte {
+	return appendJSONObject(buf, schema, r, false)
+}
+
 // writeJSONLTable writes n records as one JSON object per line, fields in
 // schema order, skipping optional fields unless includeOptional is set.
 func writeJSONLTable[T any](w io.Writer, schema []fieldSpec[T], n int,
@@ -147,22 +181,8 @@ func writeJSONLTable[T any](w io.Writer, schema []fieldSpec[T], n int,
 	buf := make([]byte, 0, 1024)
 	for i := 0; i < n; i++ {
 		rec := at(i)
-		buf = buf[:0]
-		buf = append(buf, '{')
-		for fi := range schema {
-			f := &schema[fi]
-			if f.optional && !includeOptional {
-				continue
-			}
-			if len(buf) > 1 {
-				buf = append(buf, ',')
-			}
-			buf = append(buf, '"')
-			buf = append(buf, f.name...)
-			buf = append(buf, '"', ':')
-			buf = f.appendTo(buf, &rec)
-		}
-		buf = append(buf, '}', '\n')
+		buf = appendJSONObject(buf[:0], schema, &rec, includeOptional)
+		buf = append(buf, '\n')
 		if _, err := w.Write(buf); err != nil {
 			return err
 		}

@@ -133,6 +133,24 @@ func (h *Histogram) Min() float64 { return math.Float64frombits(h.minBits.Load()
 // Max returns the largest observation (-Inf when empty).
 func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
 
+// Bounds returns the histogram's upper bucket bounds (a copy; the implicit
+// +Inf overflow bucket is not included).
+func (h *Histogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns the current per-bucket observation counts, one per
+// bound plus the trailing +Inf overflow bucket. Each count is an atomic load;
+// a snapshot taken while observations race may momentarily disagree with
+// Count, but the per-bucket values themselves are exact.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
 // Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
 // within the bucket containing it; samples in the overflow bucket report the
 // exact tracked maximum. Returns NaN when the histogram is empty.
@@ -176,6 +194,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 // state with synthesis-sized outliers on the first interval.
 func LatencyBucketsUS() []float64 {
 	return []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+}
+
+// StageBucketsUS returns the bucket bounds for per-request stage latencies,
+// in microseconds. Stages span a much wider range than controller steps —
+// admission checks are sub-microsecond, step batches run milliseconds, a WAL
+// append+fsync can take tens of milliseconds on slow disks — so the bounds
+// run 1µs to 1s.
+func StageBucketsUS() []float64 {
+	return []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000, 500000, 1e6}
 }
 
 // SecondsBuckets returns the standard bucket bounds for seconds-scale

@@ -1,0 +1,552 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) generated straight from
+// the Registry's live metric tables — the same single source the JSON
+// snapshot (Snapshot) and the expvar publication render, so the Prometheus
+// view cannot drift from the /v1/metrics view (the serve layer gates this
+// with a scrape-vs-snapshot equality test).
+//
+// Naming: the registry's keying convention "family/key" (for example
+// "serve_steps_total/tenant-a" or "step_latency_us/yukta-full") maps onto a
+// Prometheus family with one label, `family{key="tenant-a"}`; names without a
+// slash render bare. Characters illegal in a Prometheus metric name are
+// rewritten to '_'; the key part is carried as a label *value*, where any
+// UTF-8 goes (escaped per the exposition format).
+
+// promName sanitizes a registry family name into a legal Prometheus metric
+// name ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promFloat renders a float64 sample value (Prometheus accepts Go's 'g'
+// formatting, plus +Inf/-Inf/NaN spellings).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// splitFamily splits a registry name into its Prometheus family and key-label
+// value ("" when the name carries no slash).
+func splitFamily(name string) (family, key string) {
+	family, key, _ = strings.Cut(name, "/")
+	return promName(family), key
+}
+
+// promSeries is one family's samples, collected before rendering so the
+// output is grouped under a single # TYPE line and sorted within the family.
+type promSeries struct {
+	kind  string // counter | gauge | histogram
+	lines []promLine
+}
+
+// promLine is one rendered sample carrying its sort key: bucket series sort
+// by (label set, numeric le) — a plain string sort would put le="10" before
+// le="2" and break the exposition format's cumulative bucket ordering.
+type promLine struct {
+	key  string  // label set, le excluded
+	le   float64 // bucket bound; 0 for non-bucket samples
+	text string
+}
+
+// sample appends one rendered sample line to a family, creating the family
+// on first use.
+func sample(fams map[string]*promSeries, order *[]string, family, kind string, line promLine) {
+	f := fams[family]
+	if f == nil {
+		f = &promSeries{kind: kind}
+		fams[family] = f
+		*order = append(*order, family)
+	}
+	f.lines = append(f.lines, line)
+}
+
+// labels renders a label set: the optional key label plus any extra
+// (name, value) pair, in that order.
+func labels(key string, extra ...string) string {
+	var parts []string
+	if key != "" {
+		parts = append(parts, fmt.Sprintf(`key=%q`, promEscape(key)))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf(`%s=%q`, extra[i], promEscape(extra[i+1])))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: counters as `<name>` counter families, gauges as `<name>` plus a
+// `<name>_max` high-water family, histograms as cumulative `_bucket` series
+// with `_sum` and `_count`. Families and samples are emitted in sorted order
+// so scrapes are deterministic for a quiescent registry. Histogram `_count`
+// and the +Inf bucket are computed from the same per-bucket loads, so every
+// scrape is self-consistent even while observations race the render.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	fams := map[string]*promSeries{}
+	var order []string
+
+	for _, name := range sortedKeys(counters) {
+		family, key := splitFamily(name)
+		sample(fams, &order, family, "counter", promLine{key: labels(key),
+			text: fmt.Sprintf("%s%s %d", family, labels(key), counters[name].Value())})
+	}
+	for _, name := range sortedKeys(gauges) {
+		family, key := splitFamily(name)
+		g := gauges[name]
+		sample(fams, &order, family, "gauge", promLine{key: labels(key),
+			text: fmt.Sprintf("%s%s %d", family, labels(key), g.Value())})
+		sample(fams, &order, family+"_max", "gauge", promLine{key: labels(key),
+			text: fmt.Sprintf("%s_max%s %d", family, labels(key), g.Max())})
+	}
+	for _, name := range sortedKeys(hists) {
+		family, key := splitFamily(name)
+		h := hists[name]
+		bounds, counts := h.Bounds(), h.BucketCounts()
+		var cum int64
+		for i, bound := range bounds {
+			cum += counts[i]
+			sample(fams, &order, family+"_bucket", "histogram",
+				promLine{key: labels(key), le: bound,
+					text: fmt.Sprintf("%s_bucket%s %d", family, labels(key, "le", promFloat(bound)), cum)})
+		}
+		cum += counts[len(bounds)]
+		sample(fams, &order, family+"_bucket", "histogram",
+			promLine{key: labels(key), le: math.Inf(1),
+				text: fmt.Sprintf("%s_bucket%s %d", family, labels(key, "le", "+Inf"), cum)})
+		sample(fams, &order, family+"_sum", "histogram", promLine{key: labels(key),
+			text: fmt.Sprintf("%s_sum%s %s", family, labels(key), promFloat(h.Sum()))})
+		sample(fams, &order, family+"_count", "histogram", promLine{key: labels(key),
+			text: fmt.Sprintf("%s_count%s %d", family, labels(key), cum)})
+	}
+
+	sort.Strings(order)
+	bw := bufio.NewWriter(w)
+	for _, family := range order {
+		f := fams[family]
+		// The three histogram sub-families share one declared family name:
+		// strip the sub-family suffix for the TYPE line and declare it once,
+		// on the _bucket series (sorted first alphabetically among the three
+		// only when no other family interleaves — so declare per sub-family
+		// base instead, which the format permits via the parent family name).
+		typeName := family
+		if f.kind == "histogram" {
+			typeName = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(family,
+				"_bucket"), "_sum"), "_count")
+		}
+		if f.kind != "histogram" || strings.HasSuffix(family, "_bucket") {
+			if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", typeName, f.kind); err != nil {
+				return err
+			}
+		}
+		sort.Slice(f.lines, func(i, j int) bool {
+			a, b := f.lines[i], f.lines[j]
+			if a.key != b.key {
+				return a.key < b.key
+			}
+			if a.le != b.le {
+				return a.le < b.le
+			}
+			return a.text < b.text
+		})
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(bw, line.text); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := keys(m)
+	sort.Strings(out)
+	return out
+}
+
+// PromSample is one parsed sample of a Prometheus text exposition: the metric
+// name, its label set rendered canonically (exactly as written, brace block
+// included), and the value.
+type PromSample struct {
+	// Name is the sample's metric name (family plus any _bucket/_sum/_count
+	// suffix).
+	Name string
+	// Labels is the literal label block, "{k=\"v\",...}" or "" when the
+	// sample carries none.
+	Labels string
+	// Value is the sample value.
+	Value float64
+}
+
+// Key returns the canonical sample key, Name immediately followed by the
+// label block.
+func (s PromSample) Key() string { return s.Name + s.Labels }
+
+// ParsePrometheus is a strict parser for the subset of the Prometheus text
+// exposition format WritePrometheus emits; it is the shared checker behind
+// the exposition-format tests and the serve smoke test. It enforces:
+//
+//   - every non-comment line is `name[{labels}] value` with a legal metric
+//     name, a well-formed label block and a parseable value;
+//   - every sample's family is declared by a preceding # TYPE line with a
+//     valid type (counter, gauge, histogram, summary, untyped), and no
+//     family is declared twice;
+//   - histogram bucket series are cumulative (non-decreasing in le order)
+//     and their +Inf bucket equals the family's _count sample.
+//
+// It returns the samples in file order.
+func ParsePrometheus(rd io.Reader) ([]PromSample, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	typed := map[string]string{}
+	var samples []PromSample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if !validPromName(name) {
+					return nil, fmt.Errorf("obs: line %d: invalid metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: line %d: invalid metric type %q", lineNo, kind)
+				}
+				if _, dup := typed[name]; dup {
+					return nil, fmt.Errorf("obs: line %d: family %q declared twice", lineNo, name)
+				}
+				typed[name] = kind
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if familyOf(s.Name, typed) == "" {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no preceding # TYPE declaration", lineNo, s.Name)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := checkPromHistograms(samples, typed); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// validPromName reports whether name is a legal Prometheus metric name.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf resolves the declared family a sample name belongs to: the name
+// itself, or — for histogram sub-series — the name with its _bucket/_sum/
+// _count suffix stripped.
+func familyOf(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typed[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+// parsePromSample parses one `name[{labels}] value` line.
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		close := strings.LastIndexByte(rest, '}')
+		if close < brace {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		s.Name = rest[:brace]
+		s.Labels = rest[brace : close+1]
+		if err := checkLabelBlock(s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = strings.TrimSpace(rest[close+1:])
+	} else {
+		if space < 0 {
+			return s, fmt.Errorf("no value in sample %q", line)
+		}
+		s.Name = rest[:space]
+		rest = strings.TrimSpace(rest[space+1:])
+	}
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("want `value [timestamp]`, got %q", rest)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parsePromValue parses a sample value, accepting the +Inf/-Inf/NaN
+// spellings.
+func parsePromValue(text string) (float64, error) {
+	switch text {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable sample value %q", text)
+	}
+	return v, nil
+}
+
+// checkLabelBlock validates a `{k="v",...}` block: names legal, values
+// quoted, commas between pairs.
+func checkLabelBlock(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return fmt.Errorf("empty label block")
+	}
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair")
+		}
+		name := inner[:eq]
+		if !validPromName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		rest := inner[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted value for label %q", name)
+		}
+		// Scan the quoted value, honoring backslash escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated value for label %q", name)
+		}
+		inner = rest[i+1:]
+		if strings.HasPrefix(inner, ",") {
+			inner = inner[1:]
+			if inner == "" {
+				return fmt.Errorf("trailing comma in label block")
+			}
+		} else if inner != "" {
+			return fmt.Errorf("missing comma after label %q", name)
+		}
+	}
+	return nil
+}
+
+// checkPromHistograms verifies bucket cumulativity and the +Inf == _count
+// invariant for every histogram family present in the sample stream.
+func checkPromHistograms(samples []PromSample, typed map[string]string) error {
+	type histState struct {
+		last    float64
+		lastLe  float64
+		inf     map[string]float64 // label set (le stripped) -> +Inf bucket
+		started bool
+	}
+	// Cumulativity per (family, non-le labels): track in file order.
+	cum := map[string]*histState{}
+	infBuckets := map[string]float64{}
+	counts := map[string]float64{}
+	for _, s := range samples {
+		if strings.HasSuffix(s.Name, "_bucket") && typed[strings.TrimSuffix(s.Name, "_bucket")] == "histogram" {
+			le, rest, err := extractLe(s.Labels)
+			if err != nil {
+				return fmt.Errorf("obs: %s%s: %w", s.Name, s.Labels, err)
+			}
+			key := s.Name + rest
+			st := cum[key]
+			if st == nil {
+				st = &histState{}
+				cum[key] = st
+			}
+			if st.started && le < st.lastLe {
+				return fmt.Errorf("obs: %s%s: buckets out of le order", s.Name, s.Labels)
+			}
+			if st.started && s.Value < st.last {
+				return fmt.Errorf("obs: %s%s: bucket counts not cumulative", s.Name, s.Labels)
+			}
+			st.last, st.lastLe, st.started = s.Value, le, true
+			if math.IsInf(le, 1) {
+				infBuckets[key] = s.Value
+			}
+		}
+		if strings.HasSuffix(s.Name, "_count") && typed[strings.TrimSuffix(s.Name, "_count")] == "histogram" {
+			counts[strings.TrimSuffix(s.Name, "_count")+"_bucket"+s.Labels] = s.Value
+		}
+	}
+	for key, count := range counts {
+		inf, ok := infBuckets[key]
+		if !ok {
+			return fmt.Errorf("obs: histogram series %s has a _count but no +Inf bucket", key)
+		}
+		if inf != count {
+			return fmt.Errorf("obs: histogram series %s: +Inf bucket %g != _count %g", key, inf, count)
+		}
+	}
+	return nil
+}
+
+// extractLe pulls the le label out of a bucket's label block, returning its
+// parsed bound and the block with le removed (canonicalized for keying).
+func extractLe(block string) (float64, string, error) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	parts := splitLabelPairs(inner)
+	le := math.NaN()
+	var rest []string
+	for _, p := range parts {
+		name, val, _ := strings.Cut(p, "=")
+		if name == "le" {
+			unq, err := strconv.Unquote(val)
+			if err != nil {
+				return 0, "", fmt.Errorf("bad le value %s", val)
+			}
+			v, err := parsePromValue(unq)
+			if err != nil {
+				return 0, "", err
+			}
+			le = v
+			continue
+		}
+		rest = append(rest, p)
+	}
+	if math.IsNaN(le) {
+		return 0, "", fmt.Errorf("bucket sample without le label")
+	}
+	if len(rest) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(rest, ",") + "}", nil
+}
+
+// splitLabelPairs splits a label block's interior on commas outside quotes.
+func splitLabelPairs(inner string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(inner) {
+		out = append(out, inner[start:])
+	}
+	return out
+}

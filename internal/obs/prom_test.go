@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// promRegistry builds a registry exercising every metric kind plus the
+// family/key naming convention and a name needing sanitization.
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("serve_steps_total").Add(7)
+	r.Counter("serve_steps_total/tenant-a").Add(3)
+	r.Counter("weird.name/with spaces").Add(1)
+	g := r.Gauge("serve_sessions_live")
+	g.Set(5)
+	g.Set(2)
+	h := r.Histogram("step_latency_us/mcf", LatencyBucketsUS())
+	for _, v := range []float64{0.5, 3, 40, 40, 2500} {
+		h.Observe(v)
+	}
+	r.Histogram("serve_stage_us/wal_append", StageBucketsUS()).Observe(120)
+	return r
+}
+
+// TestWritePrometheusRoundTrip renders a populated registry and feeds the
+// output back through the strict parser: TYPE discipline, label syntax,
+// bucket cumulativity and +Inf == _count are all enforced by the parse.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := promRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition did not parse: %v\n%s", err, text)
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	// Counter naming: bare name and family/key → family{key="..."}.
+	if got := byKey["serve_steps_total"]; got != 7 {
+		t.Errorf("serve_steps_total = %g, want 7", got)
+	}
+	if got := byKey[`serve_steps_total{key="tenant-a"}`]; got != 3 {
+		t.Errorf(`serve_steps_total{key="tenant-a"} = %g, want 3`, got)
+	}
+	// Illegal characters in the family sanitize to '_'; the key stays a
+	// label value verbatim.
+	if got := byKey[`weird_name{key="with spaces"}`]; got != 1 {
+		t.Errorf("sanitized counter = %g, want 1", got)
+	}
+	// Gauges emit value plus _max high-water.
+	if got := byKey["serve_sessions_live"]; got != 2 {
+		t.Errorf("gauge value = %g, want 2", got)
+	}
+	if got := byKey["serve_sessions_live_max"]; got != 5 {
+		t.Errorf("gauge max = %g, want 5", got)
+	}
+	// Histogram sum/count.
+	if got := byKey[`step_latency_us_count{key="mcf"}`]; got != 5 {
+		t.Errorf("histogram _count = %g, want 5", got)
+	}
+	if got := byKey[`step_latency_us_sum{key="mcf"}`]; got != 0.5+3+40+40+2500 {
+		t.Errorf("histogram _sum = %g", got)
+	}
+	// Deterministic render for a quiescent registry.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != text {
+		t.Error("two renders of a quiescent registry differ")
+	}
+}
+
+// TestWritePrometheusEmpty checks the degenerate render: no metrics, no
+// output, and the parser accepts the empty document.
+func TestWritePrometheusEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty registry rendered %q", buf.String())
+	}
+	samples, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 0 {
+		t.Errorf("parsed %d samples from empty exposition", len(samples))
+	}
+}
+
+// TestParsePrometheusRejects feeds the strict parser malformed expositions
+// that a lenient scrape would let through.
+func TestParsePrometheusRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"no type declaration", "foo 1\n", "no preceding # TYPE"},
+		{"bad type", "# TYPE foo widget\nfoo 1\n", "invalid metric type"},
+		{"duplicate family", "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n", "declared twice"},
+		{"malformed type comment", "# TYPE foo\nfoo 1\n", "malformed TYPE comment"},
+		{"bad metric name", "# TYPE foo counter\n1foo 2\n", "invalid metric name"},
+		{"missing value", "# TYPE foo counter\nfoo\n", "no value in sample"},
+		{"bad value", "# TYPE foo counter\nfoo pants\n", "unparseable sample value"},
+		{"unterminated labels", "# TYPE foo counter\nfoo{key=\"a\" 1\n", "unterminated"},
+		{"unquoted label value", "# TYPE foo counter\nfoo{key=a} 1\n", "unquoted value"},
+		{"empty label block", "# TYPE foo counter\nfoo{} 1\n", "empty label block"},
+		{"missing comma", "# TYPE foo counter\nfoo{a=\"1\" b=\"2\"} 1\n", "missing comma"},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"buckets out of order",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+			"out of le order",
+		},
+		{
+			"inf bucket disagrees with count",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"!= _count",
+		},
+		{
+			"count without inf bucket",
+			"# TYPE h histogram\nh_sum 1\nh_count 3\n",
+			"no +Inf bucket",
+		},
+		{
+			"bucket without le",
+			"# TYPE h histogram\nh_bucket{key=\"a\"} 1\n",
+			"without le label",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePrometheus(strings.NewReader(tc.text))
+			if err == nil {
+				t.Fatalf("parser accepted %q", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParsePrometheusAccepts covers valid constructs beyond what
+// WritePrometheus emits: timestamps, escaped label values, special float
+// spellings, HELP comments.
+func TestParsePrometheusAccepts(t *testing.T) {
+	text := "# HELP foo a counter\n" +
+		"# TYPE foo counter\n" +
+		"foo{key=\"a\\\"b\\\\c,d\"} 3 1700000000\n" +
+		"# TYPE bar gauge\n" +
+		"bar +Inf\n" +
+		"bar{key=\"x\"} NaN\n"
+	samples, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	if !math.IsInf(samples[1].Value, 1) {
+		t.Errorf("bar = %g, want +Inf", samples[1].Value)
+	}
+	if !math.IsNaN(samples[2].Value) {
+		t.Error("bar{key=x} should parse as NaN")
+	}
+}
+
+// TestPromNameSanitize pins the metric-name rewrite rules.
+func TestPromNameSanitize(t *testing.T) {
+	cases := map[string]string{
+		"serve_steps_total": "serve_steps_total",
+		"weird.name":        "weird_name",
+		"1leading":          "_leading",
+		"":                  "_",
+		"a:b":               "a:b",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusConcurrent hammers one registry with observers while
+// scrapers render and strictly parse the exposition — under -race this
+// doubles as the data-race check, and every scrape must satisfy the
+// histogram self-consistency invariants even mid-update.
+func TestWritePrometheusConcurrent(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := r.Histogram(fmt.Sprintf("hammer_us/worker-%d", i), StageBucketsUS())
+			c := r.Counter("hammer_total")
+			g := r.Gauge("hammer_live")
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64(n % 10000))
+				c.Add(1)
+				g.Set(int64(n % 7))
+			}
+		}(i)
+	}
+	// Concurrent readers of the other render paths share the same tables.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Render()
+			_ = r.Snapshot()
+		}
+	}()
+	for scrape := 0; scrape < 50; scrape++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParsePrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("scrape %d inconsistent: %v\n%s", scrape, err, buf.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span accumulates named per-stage durations for one request: the serve
+// layer opens a Span per HTTP request, each stage it passes through
+// (admission, WAL append, step execution, trace encode, replay) records its
+// wall time into it, and the request middleware flushes the stages into
+// per-stage registry histograms and the structured request log line.
+//
+// A nil *Span is valid and ignores every call, so instrumented code paths
+// need no telemetry-enabled checks — the disabled case is a nil receiver
+// test and nothing else. All methods are safe for concurrent use (stages of
+// one request can run on different goroutines during a drain walk).
+type Span struct {
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// Stage is one named timed segment of a request.
+type Stage struct {
+	// Name identifies the segment (for example "wal_append" or "step_exec").
+	Name string
+	// D is the segment's accumulated wall time.
+	D time.Duration
+}
+
+// Add records d against the named stage, folding repeats of the same name
+// into one accumulated duration (a chunked step loop appends many step_exec
+// segments; the log line wants their sum).
+func (s *Span) Add(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.stages {
+		if s.stages[i].Name == name {
+			s.stages[i].D += d
+			return
+		}
+	}
+	s.stages = append(s.stages, Stage{Name: name, D: d})
+}
+
+// Time runs fn and records its wall time against the named stage. It is the
+// convenience form of Add for contiguous segments.
+func (s *Span) Time(name string, fn func()) {
+	if s == nil {
+		fn()
+		return
+	}
+	t0 := time.Now()
+	fn()
+	s.Add(name, time.Since(t0))
+}
+
+// Stages returns the recorded stages sorted by name (a copy; safe to retain).
+func (s *Span) Stages() []Stage {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := append([]Stage(nil), s.stages...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ObserveInto records every stage into the registry as a per-stage histogram
+// sample, in microseconds, under "<prefix>/<stage name>" with the
+// StageBucketsUS bounds. A nil span or nil registry is a no-op.
+func (s *Span) ObserveInto(r *Registry, prefix string) {
+	if s == nil || r == nil {
+		return
+	}
+	for _, st := range s.Stages() {
+		r.Histogram(prefix+"/"+st.Name, StageBucketsUS()).
+			Observe(float64(st.D.Microseconds()))
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanNilSafe pins the nil-receiver contract: every Span method must be
+// a no-op (and Time must still run its function) so instrumented code paths
+// never branch on telemetry being enabled.
+func TestSpanNilSafe(t *testing.T) {
+	var s *Span
+	s.Add("x", time.Second)
+	ran := false
+	s.Time("x", func() { ran = true })
+	if !ran {
+		t.Error("nil Span.Time did not run its function")
+	}
+	if got := s.Stages(); got != nil {
+		t.Errorf("nil Span.Stages() = %v, want nil", got)
+	}
+	s.ObserveInto(NewRegistry(), "p") // must not panic
+	(&Span{}).ObserveInto(nil, "p")   // nil registry likewise
+}
+
+// TestSpanFoldsRepeats checks that repeated stage names accumulate into one
+// entry (a chunked step loop records many step_exec segments) and that
+// Stages returns them name-sorted.
+func TestSpanFoldsRepeats(t *testing.T) {
+	s := &Span{}
+	s.Add("step_exec", 2*time.Millisecond)
+	s.Add("wal_append", 1*time.Millisecond)
+	s.Add("step_exec", 3*time.Millisecond)
+	s.Add("admission", 4*time.Microsecond)
+	got := s.Stages()
+	if len(got) != 3 {
+		t.Fatalf("got %d stages, want 3: %v", len(got), got)
+	}
+	want := []Stage{
+		{"admission", 4 * time.Microsecond},
+		{"step_exec", 5 * time.Millisecond},
+		{"wal_append", 1 * time.Millisecond},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stage %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSpanObserveInto checks the registry fan-out: one histogram per stage
+// under prefix/<name>, sampled in microseconds.
+func TestSpanObserveInto(t *testing.T) {
+	s := &Span{}
+	s.Add("wal_append", 1500*time.Microsecond)
+	s.Add("step_exec", 2*time.Microsecond)
+	r := NewRegistry()
+	s.ObserveInto(r, "serve_stage_us")
+	h := r.Histogram("serve_stage_us/wal_append", StageBucketsUS())
+	if h.Count() != 1 || h.Sum() != 1500 {
+		t.Errorf("wal_append histogram count=%d sum=%g, want 1/1500", h.Count(), h.Sum())
+	}
+	if got := r.Histogram("serve_stage_us/step_exec", StageBucketsUS()).Sum(); got != 2 {
+		t.Errorf("step_exec sum = %g, want 2", got)
+	}
+}
+
+// TestSpanConcurrent exercises concurrent Add/Stages under -race (drain
+// walks can time stages from worker goroutines).
+func TestSpanConcurrent(t *testing.T) {
+	s := &Span{}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 1000; n++ {
+				s.Add("step_exec", time.Microsecond)
+				_ = s.Stages()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Stages()[0].D; got != 4000*time.Microsecond {
+		t.Errorf("accumulated %v, want 4ms", got)
+	}
+}
+
+// TestAppendRecordJSONMatchesJSONL pins the shared-encoder guarantee the
+// /watch stream depends on: AppendRecordJSON must produce exactly the bytes
+// WriteJSONL writes for the same record (latency field excluded), so a
+// watched record is byte-identical to its /trace line.
+func TestAppendRecordJSONMatchesJSONL(t *testing.T) {
+	recs := []Record{
+		{Step: 0, TimeS: 0.5, BigPowerW: 3.25, TempC: 61.5, BIPS: 1.875,
+			CmdBigCores: 4, CmdBigGHz: 2.0, EffBigGHz: 1.8, ThreadsBig: 4},
+		{Step: 1, TimeS: 1, LittlePowerW: 0.75, Throttled: true,
+			SupState: "fallback", SupTripped: true, SupCause: "rail",
+			DetSuspect: 3, DetCostRatio: 1.25, PowerCapW: 6.5,
+			BudgetThrottled: true},
+	}
+	rec := NewRecorder(len(recs))
+	for _, r := range recs {
+		rec.Add(r)
+	}
+	var jsonl bytes.Buffer
+	if err := rec.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(jsonl.String(), "\n"), "\n")
+	if len(lines) != len(recs) {
+		t.Fatalf("got %d JSONL lines, want %d", len(lines), len(recs))
+	}
+	for i := range recs {
+		got := string(AppendRecordJSON(nil, &recs[i]))
+		if got != lines[i] {
+			t.Errorf("record %d:\nAppendRecordJSON: %s\nWriteJSONL line:  %s", i, got, lines[i])
+		}
+	}
+}

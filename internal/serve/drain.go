@@ -48,6 +48,7 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 	}
 	s.mu.Unlock()
 
+	s.log.Info("drain started", "sessions", len(live))
 	rep := DrainReport{Sessions: len(live)}
 	var mu sync.Mutex
 	_ = pool.ForEachMetered(s.cfg.DrainParallelism, len(live), s.reg, func(i int) error {
@@ -69,5 +70,7 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 		mu.Unlock()
 		return nil
 	})
+	s.log.Info("drain finished", "sessions", rep.Sessions, "drained", rep.Drained,
+		"tripped", rep.Tripped, "finished", rep.Finished)
 	return rep
 }

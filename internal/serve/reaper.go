@@ -48,9 +48,12 @@ func (s *Server) ReapIdle() (reaped int) {
 		if s.unregister(id) == nil {
 			continue // lost the race to an explicit DELETE
 		}
+		sess.closeWatchers()
 		sess.closeLog(true)
 		s.slots.Release()
 		s.reg.Counter("serve_sessions_reaped_total").Add(1)
+		s.log.Info("session reaped", "session", id, "tenant", sess.tenant,
+			"idle", idle.String())
 		reaped++
 	}
 	if reaped > 0 {

@@ -120,33 +120,37 @@ func sessionIDNum(path string) int {
 func (s *Server) recoverOne(path string, rep *RecoverReport) {
 	start := time.Now()
 	id := strings.TrimSuffix(filepath.Base(path), ".wal")
-	abandon := func() {
+	abandon := func(reason string) {
 		_ = os.Rename(path, path+".abandoned")
 		syncDir(filepath.Dir(path))
 		rep.Abandoned++
 		s.reg.Counter("serve_recover_abandoned_total").Add(1)
+		s.log.Warn("session log abandoned", "session", id, "reason", reason,
+			"path", path+".abandoned")
 	}
 
 	recs, validLen, err := readWAL(path)
 	if err != nil || len(recs) == 0 || recs[0].T != walOpCreate || recs[0].Req == nil {
-		abandon()
+		abandon("unreadable log or missing create record")
 		return
 	}
 	if fi, err := os.Stat(path); err != nil {
-		abandon()
+		abandon("cannot stat log")
 		return
 	} else if validLen < fi.Size() {
 		if err := truncateWAL(path, validLen); err != nil {
-			abandon()
+			abandon("damaged tail could not be truncated")
 			return
 		}
 		rep.Truncated++
 		s.reg.Counter("serve_recover_truncated_total").Add(1)
+		s.log.Warn("session log truncated", "session", id,
+			"valid_bytes", validLen, "lost_bytes", fi.Size()-validLen)
 	}
 
 	run, rec, err := s.buildRun(*recs[0].Req)
 	if err != nil {
-		abandon()
+		abandon(fmt.Sprintf("create request no longer valid: %v", err))
 		return
 	}
 	sess := &session{
@@ -166,20 +170,20 @@ func (s *Server) recoverOne(path string, rep *RecoverReport) {
 		case walOpStep:
 			pos += r.N
 			if err := run.ReplayTo(pos); err != nil {
-				abandon()
+				abandon(fmt.Sprintf("replay diverged: %v", err))
 				return
 			}
 			replayed += r.N
 			lastStep = r
 		case walOpTrip:
 			if !run.ForceTrip() {
-				abandon()
+				abandon("logged trip could not be re-applied")
 				return
 			}
 		case walOpDrain:
 			sess.drained = true
 		default:
-			abandon()
+			abandon(fmt.Sprintf("unknown op kind %q", r.T))
 			return
 		}
 	}
@@ -199,13 +203,13 @@ func (s *Server) recoverOne(path string, rep *RecoverReport) {
 	if !s.slots.Acquire() {
 		// The operator restarted with a lower -max-sessions than the crash
 		// left live; the overflow is preserved on disk, not resurrected.
-		abandon()
+		abandon("no free session slot")
 		return
 	}
 	log, err := openWAL(path, len(recs))
 	if err != nil {
 		s.slots.Release()
-		abandon()
+		abandon("log could not be reopened for appending")
 		return
 	}
 	sess.log = log
@@ -224,7 +228,15 @@ func (s *Server) recoverOne(path string, rep *RecoverReport) {
 
 	rep.Recovered++
 	rep.ReplayedSteps += replayed
+	elapsed := time.Since(start)
 	s.reg.Counter("serve_recovered_sessions_total").Add(1)
 	s.reg.Histogram("serve_recover_replay_seconds", obs.SecondsBuckets()).
-		Observe(time.Since(start).Seconds())
+		Observe(elapsed.Seconds())
+	// Replay is also a request stage (it delays the first post-restart
+	// requests), so it lands in the per-stage histogram family too.
+	s.reg.Histogram("serve_stage_us/replay", obs.StageBucketsUS()).
+		Observe(float64(elapsed.Microseconds()))
+	s.log.Info("session recovered", "session", id, "tenant", sess.tenant,
+		"scheme", sess.scheme, "app", sess.app, "steps_replayed", replayed,
+		"dur_us", elapsed.Microseconds())
 }

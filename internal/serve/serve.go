@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -110,6 +111,13 @@ type Config struct {
 	// fresh registry; read it back via Registry.
 	Metrics *obs.Registry
 
+	// Log receives the daemon's structured events — one request line per
+	// HTTP request (correlation ID, status, per-stage latencies) plus
+	// lifecycle events (session create/close, trips, drain, reap, recovery).
+	// Nil discards everything; the simulation hot path is untouched either
+	// way.
+	Log *slog.Logger
+
 	// Now is the admission bucket's clock, injectable for tests. Nil means
 	// time.Now. Simulation determinism never depends on it.
 	Now func() time.Time
@@ -120,6 +128,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	reg     *obs.Registry
+	log     *slog.Logger
 	slots   *pool.Slots
 	buckets *buckets
 	mux     *http.ServeMux
@@ -172,9 +181,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(nopLogHandler{})
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      cfg.Metrics,
+		log:      cfg.Log,
 		slots:    pool.NewSlots(cfg.MaxSessions),
 		buckets:  newBuckets(cfg.TenantRate, cfg.TenantBurst, cfg.Now),
 		sessions: map[string]*session{},
@@ -216,9 +229,11 @@ func DefaultSchemes(p *core.Platform) map[string]core.Scheme {
 // direct inspection).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Handler returns the daemon's HTTP handler: the /v1 API, /healthz, and the
-// pprof endpoints under /debug/pprof/.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the /v1 API, /healthz, the
+// Prometheus exposition at /metrics, and the pprof endpoints under
+// /debug/pprof/ — all wrapped in the request-telemetry layer (correlation
+// IDs, stage spans, one structured request log line per request).
+func (s *Server) Handler() http.Handler { return s.telemetry(s.mux) }
 
 // routes installs the endpoint table. Every /v1 handler sits behind the
 // recovery fence: while leftover session logs await replay the daemon
@@ -232,8 +247,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.fenced(s.handleStep))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/trip", s.fenced(s.handleTrip))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.fenced(s.handleTrace))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/watch", s.fenced(s.handleWatch))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.fenced(s.handleDelete))
 	s.mux.HandleFunc("GET /v1/metrics", s.fenced(s.handleMetrics))
+	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -248,7 +265,7 @@ type errorBody struct {
 	Error string `json:"error"`
 	// Code is a stable machine-readable reason: "bad_request",
 	// "unknown_session", "rate_limited", "capacity", "draining",
-	// "not_supervised", "recovering", "stale_seq", "wal_error".
+	// "not_supervised", "recovering", "stale_seq", "wal_error", "no_trace".
 	Code string `json:"code"`
 }
 
@@ -293,6 +310,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = "default"
 	}
+	span := spanFrom(r.Context())
+	admit := time.Now()
 	// Admission gate 1: the daemon is draining — no new work.
 	s.mu.Lock()
 	draining := s.draining
@@ -304,6 +323,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// Admission gate 2: per-tenant token bucket.
 	if ok, retry := s.buckets.take(tenant); !ok {
 		s.reg.Counter("serve_rejected_rate_total/" + tenant).Add(1)
+		s.log.Info("session rejected", "tenant", tenant, "code", "rate_limited",
+			"request_id", requestID(r.Context()))
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Seconds())+1))
 		writeError(w, http.StatusTooManyRequests, "rate_limited",
 			"tenant %q is over its session-creation rate; retry after %v", tenant, retry.Round(time.Millisecond))
@@ -312,10 +333,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// Admission gate 3: global concurrent-session cap.
 	if !s.slots.Acquire() {
 		s.reg.Counter("serve_rejected_capacity_total").Add(1)
+		s.log.Info("session rejected", "tenant", tenant, "code", "capacity",
+			"request_id", requestID(r.Context()))
 		writeError(w, http.StatusTooManyRequests, "capacity",
 			"all %d session slots are in use; close or finish a session first", s.slots.Cap())
 		return
 	}
+	span.Add("admission", time.Since(admit))
 	sess, err := s.newSession(tenant, req)
 	if err != nil {
 		s.slots.Release()
@@ -324,6 +348,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reg.Counter("serve_sessions_created_total/" + tenant).Add(1)
 	s.reg.Gauge("serve_sessions_live").Set(int64(s.slots.InUse()))
+	s.log.Info("session created", "session", sess.id, "tenant", tenant,
+		"scheme", sess.scheme, "app", sess.app, "request_id", requestID(r.Context()))
 	writeJSON(w, http.StatusCreated, sess.info())
 }
 
@@ -422,6 +448,8 @@ func (s *Server) handleTrip(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Counter("serve_trips_forced_total").Add(1)
+	s.log.Info("trip forced", "session", sess.id, "tenant", sess.tenant,
+		"request_id", requestID(r.Context()))
 	writeJSON(w, http.StatusOK, TripResponse{Forced: true, SupState: sess.supState()})
 }
 
@@ -435,7 +463,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.touch(s.cfg.Now())
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	if err := sess.writeTrace(w); err != nil {
+	var err error
+	spanFrom(r.Context()).Time("trace_encode", func() {
+		err = sess.writeTrace(w)
+	})
+	if err != nil {
 		// Headers are gone; nothing to do but drop the connection.
 		return
 	}
@@ -451,10 +483,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown_session", "no session %q", id)
 		return
 	}
+	sess.closeWatchers()
 	sess.closeLog(true)
 	s.slots.Release()
 	s.reg.Counter("serve_sessions_closed_total").Add(1)
 	s.reg.Gauge("serve_sessions_live").Set(int64(s.slots.InUse()))
+	s.log.Info("session closed", "session", id, "tenant", sess.tenant,
+		"request_id", requestID(r.Context()))
 	writeJSON(w, http.StatusOK, CloseResponse{Closed: true, ID: id})
 }
 
@@ -486,6 +521,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(b.String()))
 }
 
+// handlePromMetrics is GET /metrics: the registry rendered in the
+// Prometheus text exposition format. It is the same live registry the JSON
+// snapshot (/v1/metrics) and the expvar publication read, rendered by
+// obs.WritePrometheus — single source, so the views cannot drift (gated by
+// the serve drift test). Like /healthz it answers behind the recovery fence:
+// scraping must work while a recovery is in flight.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
 // handleHealthz is GET /healthz. It answers even behind the recovery fence
 // — status "recovering" — so orchestrators and waiting clients can watch
 // the replay finish.
@@ -499,9 +545,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if recovering {
 		status = "recovering"
 	}
+	version, goVersion := BuildInfo()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   status,
 		Sessions: n,
 		Draining: draining,
+		Version:  version,
+		Go:       goVersion,
 	})
 }

@@ -171,6 +171,11 @@ type HealthResponse struct {
 	Sessions int `json:"sessions"`
 	// Draining reports that graceful drain has begun (creates return 503).
 	Draining bool `json:"draining"`
+	// Version is the daemon's build identity (module version or VCS
+	// revision; "devel" for an unstamped build). See BuildInfo.
+	Version string `json:"version"`
+	// Go is the Go toolchain version the daemon was built with.
+	Go string `json:"go"`
 }
 
 // session is one hosted board run: a core.StepRun plus its recorder and
@@ -203,6 +208,10 @@ type session struct {
 	// lastActive is the last time a client touched this session (any
 	// session-scoped request), read by the idle-TTL reaper.
 	lastActive time.Time
+	// watchers holds the live /watch subscribers (watch.go); nil while
+	// nobody watches, and the run's step hook is installed exactly while it
+	// is non-empty.
+	watchers map[*watcher]struct{}
 }
 
 // stepChunk bounds how many intervals run between context-cancellation
@@ -436,6 +445,8 @@ func (se *session) step(ctx context.Context, n int, seq int64, now time.Time) (r
 	if seq > 0 && seq < se.lastSeq {
 		return resp, 0, false, "stale_seq"
 	}
+	span := spanFrom(ctx)
+	execStart := time.Now()
 	for executed < n && !se.run.Done() {
 		chunk := stepChunk
 		if rem := n - executed; rem < chunk {
@@ -446,8 +457,14 @@ func (se *session) step(ctx context.Context, n int, seq int64, now time.Time) (r
 			break
 		}
 	}
+	span.Add("step_exec", time.Since(execStart))
+	if se.run.Done() {
+		se.closeWatchersLocked()
+	}
 	if executed > 0 || seq > 0 {
+		walStart := time.Now()
 		se.logOp(walRecord{T: walOpStep, N: executed, Seq: seq})
+		span.Add("wal_append", time.Since(walStart))
 		if se.wedged {
 			return resp, executed, false, "wal_error"
 		}
@@ -537,6 +554,7 @@ func (se *session) drain(drainSteps int) (tripped bool) {
 	}
 	se.drained = true
 	se.logOp(walRecord{T: walOpDrain})
+	se.closeWatchersLocked()
 	return tripped
 }
 

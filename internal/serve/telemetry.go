@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"yukta/internal/obs"
+)
+
+// Request-scoped telemetry: every request through the daemon gets a
+// correlation ID (honored from the client's X-Request-ID header, minted
+// otherwise, echoed in the response), an obs.Span collecting per-stage wall
+// time (admission, WAL append+fsync, step execution, trace encode), and —
+// when the daemon has a logger — exactly one structured request log line
+// carrying the ID, the outcome and the stage latencies. The span rides the
+// request context, so the stages instrument themselves with nil-safe Span
+// calls and the disabled case costs nothing on the simulation hot path
+// (core.Run and core.StepRun.Step never see any of this).
+
+// requestIDHeader is the correlation-ID header, honored on requests and set
+// on every response.
+const requestIDHeader = "X-Request-ID"
+
+// ctxKey is the private context-key namespace of the serve package.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeySpan
+)
+
+// nopLogHandler is a slog.Handler that discards everything; the daemon's
+// default when Config.Log is nil, so instrumented paths never branch on
+// logging being enabled. (The stdlib gained an equivalent in a later Go
+// release than this module targets.)
+type nopLogHandler struct{}
+
+// Enabled reports false for every level: nothing is ever logged.
+func (nopLogHandler) Enabled(context.Context, slog.Level) bool { return false }
+
+// Handle discards the record.
+func (nopLogHandler) Handle(context.Context, slog.Record) error { return nil }
+
+// WithAttrs returns the handler unchanged.
+func (h nopLogHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+
+// WithGroup returns the handler unchanged.
+func (h nopLogHandler) WithGroup(string) slog.Handler { return h }
+
+// requestID returns the request's correlation ID ("" outside the telemetry
+// middleware).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// spanFrom returns the request's stage span, or nil outside the middleware —
+// obs.Span is nil-safe, so callers use the result unconditionally.
+func spanFrom(ctx context.Context) *obs.Span {
+	sp, _ := ctx.Value(ctxKeySpan).(*obs.Span)
+	return sp
+}
+
+// mintRequestID generates a fresh correlation ID: 8 random bytes, hex.
+func mintRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is exotic; a constant beats an empty ID, and
+		// uniqueness is a debugging nicety, not a correctness requirement.
+		return "rid-fallback"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status for the request log line while
+// passing Flush through — the /watch event stream needs the flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status.
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the underlying flusher when there is one (server-sent
+// events depend on it).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// telemetry wraps the daemon's handler with the request-telemetry layer:
+// correlation ID, stage span, per-stage registry histograms
+// (serve_stage_us/<stage>), and one structured request log line per request.
+func (s *Server) telemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get(requestIDHeader)
+		if rid == "" {
+			rid = mintRequestID()
+		}
+		w.Header().Set(requestIDHeader, rid)
+		span := &obs.Span{}
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID, rid)
+		ctx = context.WithValue(ctx, ctxKeySpan, span)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		span.ObserveInto(s.reg, "serve_stage_us")
+		if !s.log.Enabled(ctx, slog.LevelInfo) {
+			return
+		}
+		attrs := []any{
+			"request_id", rid,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur_us", time.Since(start).Microseconds(),
+		}
+		for _, st := range span.Stages() {
+			attrs = append(attrs, "stage_"+st.Name+"_us", st.D.Microseconds())
+		}
+		s.log.Info("request", attrs...)
+	})
+}

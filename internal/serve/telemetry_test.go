@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"yukta/internal/obs"
+)
+
+// doRaw issues one request and returns the full response, for tests that
+// need headers rather than decoded bodies.
+func doRaw(t *testing.T, req *http.Request) *http.Response {
+	t.Helper()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestRequestIDEchoed checks the correlation-ID contract on the wire: every
+// response carries X-Request-ID — minted when the client sent none, echoed
+// verbatim when it did — including error responses.
+func TestRequestIDEchoed(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	resp := doRaw(t, req)
+	minted := resp.Header.Get("X-Request-ID")
+	if minted == "" {
+		t.Fatal("response without client ID carries no X-Request-ID")
+	}
+
+	req, _ = http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "client-chose-this")
+	resp = doRaw(t, req)
+	if got := resp.Header.Get("X-Request-ID"); got != "client-chose-this" {
+		t.Errorf("client-sent ID not echoed: got %q", got)
+	}
+
+	// Error responses carry the ID too (404 on an unknown session).
+	req, _ = http.NewRequest("GET", ts.URL+"/v1/sessions/s-999", nil)
+	req.Header.Set("X-Request-ID", "err-rid")
+	resp = doRaw(t, req)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "err-rid" {
+		t.Errorf("error response dropped the request ID: got %q", got)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing slog output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return strings.Split(strings.TrimSpace(b.buf.String()), "\n")
+}
+
+// requestLogs decodes the buffer's JSON log lines and returns those with
+// msg == "request" and the given request_id.
+func requestLogs(t *testing.T, buf *syncBuffer, rid string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range buf.lines() {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		if m["msg"] == "request" && m["request_id"] == rid {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TestRequestLogLine checks the structured request log: exactly one
+// "request" line per request, carrying the correlation ID, method, path,
+// status and the per-stage latency fields of the stages the request passed
+// through.
+func TestRequestLogLine(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	_, ts := newTestServer(t, func(cfg *Config) { cfg.Log = logger })
+
+	// Create: passes the admission stage.
+	body, _ := json.Marshal(CreateRequest{Scheme: "coordinated", App: "gamess", MaxTimeS: 5})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sessions", bytes.NewReader(body))
+	req.Header.Set("X-Request-ID", "rid-create")
+	resp := doRaw(t, req)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	var info SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+
+	logs := requestLogs(t, &buf, "rid-create")
+	if len(logs) != 1 {
+		t.Fatalf("create produced %d request log lines, want exactly 1", len(logs))
+	}
+	line := logs[0]
+	if line["method"] != "POST" || line["path"] != "/v1/sessions" {
+		t.Errorf("log line method/path = %v/%v", line["method"], line["path"])
+	}
+	if line["status"] != float64(http.StatusCreated) {
+		t.Errorf("log line status = %v, want 201", line["status"])
+	}
+	if _, ok := line["dur_us"]; !ok {
+		t.Error("log line missing dur_us")
+	}
+	if _, ok := line["stage_admission_us"]; !ok {
+		t.Errorf("create log line missing stage_admission_us: %v", line)
+	}
+
+	// Step: passes step_exec and wal_append.
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/sessions/"+info.ID+"/step",
+		strings.NewReader(`{"steps":3}`))
+	req.Header.Set("X-Request-ID", "rid-step")
+	resp = doRaw(t, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step: status %d", resp.StatusCode)
+	}
+	logs = requestLogs(t, &buf, "rid-step")
+	if len(logs) != 1 {
+		t.Fatalf("step produced %d request log lines, want exactly 1", len(logs))
+	}
+	for _, stage := range []string{"stage_step_exec_us", "stage_wal_append_us"} {
+		if _, ok := logs[0][stage]; !ok {
+			t.Errorf("step log line missing %s: %v", stage, logs[0])
+		}
+	}
+}
+
+// TestRequestLogDisabledByDefault checks that a daemon without a configured
+// logger emits nothing (the nop handler) — the telemetry layer must not
+// write to stderr on its own.
+func TestRequestLogDisabledByDefault(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	if code := do(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if s.log.Enabled(nil, slog.LevelError) {
+		t.Error("default logger is enabled; want the nop handler")
+	}
+}
+
+// TestPromMetricsMatchesSnapshot is the drift gate between the two metric
+// views: every counter in the /v1/metrics JSON snapshot must appear in the
+// /metrics Prometheus exposition with the same value, and the exposition
+// must satisfy the strict format parser.
+func TestPromMetricsMatchesSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	// Populate counters across a few families: create, step, trace, delete.
+	info := create(t, ts, CreateRequest{Scheme: "coordinated", App: "gamess", MaxTimeS: 5})
+	stepToDone(t, ts, info.ID, 3)
+	fetchTrace(t, ts, info.ID)
+	if code := do(t, "DELETE", ts.URL+"/v1/sessions/"+info.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+
+	var snap map[string]any
+	if code := do(t, "GET", ts.URL+"/v1/metrics", nil, &snap); code != http.StatusOK {
+		t.Fatalf("/v1/metrics: status %d", code)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	resp := doRaw(t, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	samples, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics failed the strict exposition parse: %v", err)
+	}
+	prom := map[string]float64{}
+	for _, s := range samples {
+		prom[s.Key()] = s.Value
+	}
+
+	checked := 0
+	for name, val := range snap {
+		v, isCounter := val.(float64) // counters are bare numbers in the snapshot
+		if !isCounter {
+			continue
+		}
+		family, key, _ := strings.Cut(name, "/")
+		pk := family
+		if key != "" {
+			pk = family + `{key="` + key + `"}`
+		}
+		got, ok := prom[pk]
+		if !ok {
+			t.Errorf("counter %s missing from /metrics (looked for %s)", name, pk)
+			continue
+		}
+		if got != v {
+			t.Errorf("counter %s drifted: snapshot %g, prometheus %g", name, v, got)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no counters compared; the drift gate checked nothing")
+	}
+
+	// The per-stage histograms must be present after the traffic above.
+	found := false
+	for k := range prom {
+		if strings.HasPrefix(k, `serve_stage_us_count{key="step_exec"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("serve_stage_us/step_exec histogram missing from /metrics")
+	}
+}
+
+// TestHealthzBuildInfo checks the version fields satellite: /healthz reports
+// the build's version and Go toolchain.
+func TestHealthzBuildInfo(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	var h HealthResponse
+	if code := do(t, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if h.Version == "" {
+		t.Error("healthz version is empty")
+	}
+	if !strings.HasPrefix(h.Go, "go") {
+		t.Errorf("healthz go = %q, want a go version", h.Go)
+	}
+	version, goVersion := BuildInfo()
+	if h.Version != version || h.Go != goVersion {
+		t.Errorf("healthz (%q, %q) disagrees with BuildInfo (%q, %q)",
+			h.Version, h.Go, version, goVersion)
+	}
+}

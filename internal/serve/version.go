@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo returns the daemon's build identity for the /healthz payload and
+// `yukta-serve -version`: the module version or VCS revision baked into the
+// binary by the Go toolchain (via runtime/debug.ReadBuildInfo), falling back
+// to "devel" for an unstamped build, plus the Go toolchain version.
+func BuildInfo() (version, goVersion string) {
+	version = "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		}
+		var revision string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if revision != "" {
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+			if dirty {
+				revision += "-dirty"
+			}
+			version = revision
+		}
+	}
+	return version, runtime.Version()
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"yukta/internal/obs"
+)
+
+// Live session streaming: GET /v1/sessions/{id}/watch holds the connection
+// open as a text/event-stream and emits one event per control interval the
+// session executes, each carrying the interval's flight record encoded by
+// exactly the trace exporter (obs.AppendRecordJSON), so a watched record is
+// byte-identical to the corresponding /trace line. The stream ends with an
+// `event: done` sentinel when the run completes or the session goes away
+// (delete, reap, drain).
+//
+// Watchers never touch the stepping hot path beyond one nil check per
+// interval: a core.StepRun step hook is installed only while at least one
+// watcher is subscribed, publishes are non-blocking sends into each
+// watcher's bounded channel, and a slow consumer loses records (counted in
+// serve_watch_dropped_total) rather than stalling the step request that
+// produced them.
+
+// watchBuffer is each watcher's channel capacity, in records: enough to ride
+// out scheduler hiccups for a consumer that keeps up, small enough that an
+// abandoned-but-connected watcher costs a few hundred flat structs.
+const watchBuffer = 256
+
+// watcher is one subscribed /watch stream.
+type watcher struct {
+	// ch delivers records to the streaming handler; closed to signal
+	// end-of-stream (the handler then emits the done sentinel).
+	ch chan obs.Record
+	// closed guards double-close: set whenever ch has been closed, under the
+	// session lock.
+	closed bool
+	// drops counts records this watcher lost to a full channel.
+	drops *obs.Counter
+}
+
+// watch subscribes a new watcher. It reports ok=false when the session has
+// tracing disabled (trace_capacity -1) — there are no records to stream. A
+// session that is already finished or drained returns an immediately-closed
+// watcher, so the stream consists of just the done sentinel. The first
+// subscriber installs the session's step hook; publishing stays out of the
+// stepping path entirely while nobody watches.
+func (se *session) watch(drops *obs.Counter) (*watcher, bool) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.rec == nil {
+		return nil, false
+	}
+	w := &watcher{ch: make(chan obs.Record, watchBuffer), drops: drops}
+	if se.run.Done() || se.drained {
+		close(w.ch)
+		w.closed = true
+		return w, true
+	}
+	if se.watchers == nil {
+		se.watchers = map[*watcher]struct{}{}
+	}
+	if len(se.watchers) == 0 {
+		se.run.SetStepHook(se.publishLocked)
+	}
+	se.watchers[w] = struct{}{}
+	return w, true
+}
+
+// unwatch removes a watcher (client disconnected). The last unsubscribe
+// uninstalls the step hook.
+func (se *session) unwatch(w *watcher) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if !w.closed {
+		close(w.ch)
+		w.closed = true
+	}
+	delete(se.watchers, w)
+	if len(se.watchers) == 0 {
+		se.run.SetStepHook(nil)
+	}
+}
+
+// publishLocked is the session's step hook: fan the interval's freshly
+// recorded flight record out to every watcher, non-blocking. It runs inside
+// run.Step, which only executes under se.mu, so the watcher set is stable.
+func (se *session) publishLocked(int) {
+	if len(se.watchers) == 0 || se.rec.Len() == 0 {
+		return
+	}
+	rec := se.rec.At(se.rec.Len() - 1)
+	for w := range se.watchers {
+		select {
+		case w.ch <- rec:
+		default:
+			w.drops.Add(1)
+		}
+	}
+}
+
+// closeWatchersLocked ends every open stream (run finished, session deleted,
+// reaped or drained) and uninstalls the step hook. Callers hold se.mu.
+func (se *session) closeWatchersLocked() {
+	for w := range se.watchers {
+		if !w.closed {
+			close(w.ch)
+			w.closed = true
+		}
+	}
+	se.watchers = nil
+	se.run.SetStepHook(nil)
+}
+
+// closeWatchers is closeWatchersLocked for callers not holding the lock.
+func (se *session) closeWatchers() {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	se.closeWatchersLocked()
+}
+
+// handleWatch is GET /v1/sessions/{id}/watch: the live per-interval event
+// stream.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	sess.touch(s.cfg.Now())
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "bad_request",
+			"response writer cannot stream")
+		return
+	}
+	wt, ok := sess.watch(s.reg.Counter("serve_watch_dropped_total"))
+	if !ok {
+		writeError(w, http.StatusConflict, "no_trace",
+			"session %s was created with tracing disabled; nothing to watch", sess.id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	buf := make([]byte, 0, 1024)
+	for {
+		select {
+		case rec, open := <-wt.ch:
+			if !open {
+				_, _ = fmt.Fprintf(w, "event: done\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			buf = obs.AppendRecordJSON(buf[:0], &rec)
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", buf); err != nil {
+				sess.unwatch(wt)
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			sess.unwatch(wt)
+			return
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readSSE consumes a text/event-stream body, returning every data payload
+// seen before the `event: done` sentinel and whether the sentinel arrived.
+func readSSE(t *testing.T, resp *http.Response) (payloads []string, done bool) {
+	t.Helper()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	inDone := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+		case line == "event: done":
+			inDone = true
+		case strings.HasPrefix(line, "data: "):
+			if inDone {
+				return payloads, true
+			}
+			payloads = append(payloads, strings.TrimPrefix(line, "data: "))
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading event stream: %v", err)
+	}
+	return payloads, inDone
+}
+
+// startWatch opens the /watch stream and returns once the response headers
+// are in — at that point the watcher is subscribed, so records from steps
+// issued afterwards cannot be missed.
+func startWatch(t *testing.T, ts string, id string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("GET", ts+"/v1/sessions/"+id+"/watch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch Content-Type = %q", ct)
+	}
+	return resp
+}
+
+// TestWatchStreamMatchesTrace is the live-streaming determinism gate: a
+// watcher subscribed before any step sees one event per control interval,
+// each payload byte-identical to the corresponding /trace JSONL line, and
+// the stream ends with the done sentinel when the run completes.
+func TestWatchStreamMatchesTrace(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	info := create(t, ts, CreateRequest{Scheme: "coordinated", App: "gamess", MaxTimeS: 5})
+
+	resp := startWatch(t, ts.URL, info.ID)
+	type result struct {
+		payloads []string
+		done     bool
+	}
+	ch := make(chan result, 1)
+	go func() {
+		p, d := readSSE(t, resp)
+		ch <- result{p, d}
+	}()
+
+	final := stepToDone(t, ts, info.ID, 3)
+	var got result
+	select {
+	case got = <-ch:
+	case <-time.After(30 * time.Second):
+		t.Fatal("watch stream did not end after the run completed")
+	}
+	if !got.done {
+		t.Fatal("stream ended without the done sentinel")
+	}
+	if len(got.payloads) != final.Steps {
+		t.Fatalf("watched %d records, want %d (one per interval)", len(got.payloads), final.Steps)
+	}
+
+	trace := strings.Split(strings.TrimSuffix(string(fetchTrace(t, ts, info.ID)), "\n"), "\n")
+	if len(trace) != len(got.payloads) {
+		t.Fatalf("trace has %d lines, watch delivered %d", len(trace), len(got.payloads))
+	}
+	for i := range trace {
+		if got.payloads[i] != trace[i] {
+			t.Errorf("record %d differs:\nwatch: %s\ntrace: %s", i, got.payloads[i], trace[i])
+		}
+	}
+}
+
+// TestWatchFinishedSession checks the degenerate stream: watching a session
+// that already ran to completion yields just the done sentinel.
+func TestWatchFinishedSession(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	info := create(t, ts, CreateRequest{Scheme: "coordinated", App: "gamess", MaxTimeS: 5})
+	stepToDone(t, ts, info.ID, 50)
+
+	resp := startWatch(t, ts.URL, info.ID)
+	payloads, done := readSSE(t, resp)
+	if !done {
+		t.Error("stream on a finished session ended without the done sentinel")
+	}
+	if len(payloads) != 0 {
+		t.Errorf("finished session streamed %d records, want 0", len(payloads))
+	}
+}
+
+// TestWatchNoTrace checks the tracing-disabled conflict: a session created
+// with trace_capacity -1 has nothing to stream and /watch says so.
+func TestWatchNoTrace(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	info := create(t, ts, CreateRequest{Scheme: "coordinated", App: "gamess",
+		MaxTimeS: 5, TraceCapacity: -1})
+	var eb errorBody
+	if code := do(t, "GET", ts.URL+"/v1/sessions/"+info.ID+"/watch", nil, &eb); code != http.StatusConflict {
+		t.Fatalf("watch on untraced session: status %d, want 409", code)
+	}
+	if eb.Code != "no_trace" {
+		t.Errorf("error code %q, want no_trace", eb.Code)
+	}
+}
+
+// TestWatchDeleteEndsStream checks that deleting a session mid-watch closes
+// the stream with the done sentinel rather than leaving the watcher hanging.
+func TestWatchDeleteEndsStream(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	info := create(t, ts, CreateRequest{Scheme: "coordinated", App: "gamess", MaxTimeS: 60})
+
+	resp := startWatch(t, ts.URL, info.ID)
+	done := make(chan bool, 1)
+	go func() {
+		_, d := readSSE(t, resp)
+		done <- d
+	}()
+
+	if code := do(t, "POST", ts.URL+"/v1/sessions/"+info.ID+"/step", StepRequest{Steps: 2}, nil); code != http.StatusOK {
+		t.Fatalf("step: status %d", code)
+	}
+	if code := do(t, "DELETE", ts.URL+"/v1/sessions/"+info.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	select {
+	case d := <-done:
+		if !d {
+			t.Error("stream ended without the done sentinel after delete")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch stream still open 10s after session delete")
+	}
+}
+
+// TestWatchSlowConsumerDrops is the backpressure gate, white-box: a watcher
+// that never drains its channel loses records — counted in
+// serve_watch_dropped_total — while the step requests that produced them
+// proceed unimpeded.
+func TestWatchSlowConsumerDrops(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	// 160 simulated seconds at the default 500ms interval = 320 intervals,
+	// comfortably past the 256-record watcher buffer.
+	info := create(t, ts, CreateRequest{Scheme: "coordinated", App: "gamess", MaxTimeS: 160})
+
+	s.mu.Lock()
+	sess := s.sessions[info.ID]
+	s.mu.Unlock()
+	if sess == nil {
+		t.Fatal("session not in table")
+	}
+	drops := s.reg.Counter("serve_watch_dropped_total")
+	w, ok := sess.watch(drops)
+	if !ok {
+		t.Fatal("watch refused a traced session")
+	}
+	defer sess.unwatch(w)
+
+	final := stepToDone(t, ts, info.ID, 64)
+	if final.Steps <= watchBuffer {
+		t.Fatalf("run only had %d intervals; need > %d to overflow", final.Steps, watchBuffer)
+	}
+	wantDrops := int64(final.Steps - watchBuffer)
+	if got := drops.Value(); got != wantDrops {
+		t.Errorf("serve_watch_dropped_total = %d, want %d (steps %d - buffer %d)",
+			got, wantDrops, final.Steps, watchBuffer)
+	}
+	if got := len(w.ch); got != watchBuffer {
+		t.Errorf("stalled watcher retains %d records, want the full buffer %d", got, watchBuffer)
+	}
+}
