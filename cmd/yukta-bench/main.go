@@ -17,6 +17,9 @@
 //	yukta-bench -fleet 16             # 16 boards under a shared budget, both policies
 //	yukta-bench -fleet 8 -faults -trace traces/ # fleet sweep across fault classes, with traces
 //	yukta-bench -fleet 4 -fleetpolicy feedback -fleetbudget 2.0
+//	yukta-bench -fleet 16 -fleet-topo 4x4     # hierarchical: 4 racks of 4 boards
+//	yukta-bench -fleetscale 64,256 -scaledepths 1,2 -benchout BENCH_evloop.json
+//	yukta-bench -fleet-topo 32x32 -topoguard BENCH_evloop.json # hierarchy regression gate
 //	yukta-bench -tracecheck traces/ # validate recorded JSONL against the schema
 package main
 
@@ -61,6 +64,9 @@ func main() {
 		fleetScl  = flag.String("fleetscale", "", "run the engine scaling-curve benchmark over these comma-separated fleet sizes (e.g. 64,256)")
 		benchOut  = flag.String("benchout", "", "write the scaling-curve benchmark report as JSON to this file")
 		sclGuard  = flag.Bool("scaleguard", false, "fail unless the event engine beats lockstep at the largest -fleetscale size (regression gate)")
+		fleetTopo = flag.String("fleet-topo", "", "coordinator topology for -fleet sweeps and -topoguard (fleet.ParseTopology grammar, e.g. 32x32 or root=a,b;a=4;b=4); empty = flat")
+		sclDepths = flag.String("scaledepths", "", "with -fleetscale, also measure balanced coordinator trees at these comma-separated depths (e.g. 1,2,3)")
+		topoGuard = flag.String("topoguard", "", "committed scaling report JSON (BENCH_evloop.json): re-run the -fleet-topo scenario and fail if it diverges from the committed tree point")
 	)
 	flag.Parse()
 
@@ -128,7 +134,7 @@ func main() {
 		}
 		return
 	}
-	if *fig == "" && !*all && !*faults && *fleetN == 0 && *fleetScl == "" {
+	if *fig == "" && !*all && !*faults && *fleetN == 0 && *fleetScl == "" && *topoGuard == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -146,6 +152,7 @@ func main() {
 		TraceDir:     *traceDir,
 		Metrics:      *metrics,
 		FleetBudgetW: *fleetBW,
+		FleetTopo:    *fleetTopo,
 		Engine:       eng,
 	})
 	if err != nil {
@@ -156,12 +163,36 @@ func main() {
 		defer func() { fmt.Fprint(os.Stderr, ctx.Metrics.Render()) }()
 	}
 
-	if *fleetScl != "" {
-		ns, err := parseSizes(*fleetScl)
+	if *topoGuard != "" {
+		if *fleetTopo == "" {
+			fatal(fmt.Errorf("-topoguard needs -fleet-topo to name the topology to re-run"))
+		}
+		committed, err := exp.ReadFleetScaleReport(*topoGuard)
 		if err != nil {
 			fatal(err)
 		}
-		rep, err := ctx.FleetScale(ns)
+		if err := ctx.TreeGuard(*fleetTopo, committed); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "topology guard OK: %s matches the committed tree point\n", *fleetTopo)
+		return
+	}
+
+	if *fleetScl != "" {
+		ns, err := parseSizes(*fleetScl, "-fleetscale")
+		if err != nil {
+			fatal(err)
+		}
+		var rep *exp.FleetScaleReport
+		if *sclDepths != "" {
+			depths, derr := parseSizes(*sclDepths, "-scaledepths")
+			if derr != nil {
+				fatal(derr)
+			}
+			rep, err = ctx.FleetScaleTree(ns, depths)
+		} else {
+			rep, err = ctx.FleetScale(ns)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -404,8 +435,9 @@ func checkTraces(dir string) error {
 	return nil
 }
 
-// parseSizes parses a comma-separated list of positive fleet sizes.
-func parseSizes(s string) ([]int, error) {
+// parseSizes parses a comma-separated list of positive integers for the
+// named flag (-fleetscale sizes, -scaledepths depths).
+func parseSizes(s, flagName string) ([]int, error) {
 	var ns []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -414,12 +446,12 @@ func parseSizes(s string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("invalid fleet size %q in -fleetscale", part)
+			return nil, fmt.Errorf("invalid value %q in %s", part, flagName)
 		}
 		ns = append(ns, n)
 	}
 	if len(ns) == 0 {
-		return nil, fmt.Errorf("-fleetscale needs at least one fleet size")
+		return nil, fmt.Errorf("%s needs at least one value", flagName)
 	}
 	return ns, nil
 }

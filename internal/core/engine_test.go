@@ -95,8 +95,17 @@ func fleetFingerprint(t *testing.T, p *Platform, sch Scheme, class string, n int
 	if err != nil {
 		t.Fatal(err)
 	}
+	return fingerprintFleetOutput(t, opt.Trace, boardRecs, res)
+}
+
+// fingerprintFleetOutput serializes a fleet run's observable output — the
+// fleet trace, every per-board trace, and the result scalars shared by flat
+// and hierarchical runs — for byte-level comparison.
+func fingerprintFleetOutput(t *testing.T, trace *obs.FleetRecorder,
+	boardRecs []*obs.Recorder, res *FleetResult) []byte {
+	t.Helper()
 	var buf bytes.Buffer
-	if err := opt.Trace.WriteJSONL(&buf); err != nil {
+	if err := trace.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
 	for i, rec := range boardRecs {

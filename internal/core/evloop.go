@@ -31,8 +31,21 @@ func (f *fleetRun) runEvent() error {
 	if f.maxSteps <= 0 {
 		return nil
 	}
-	h := sched.NewHeap(f.n + 1)
-	h.Push(sched.Event{Time: 0, Kind: evRealloc})
+	nodes := 1
+	if f.tree != nil {
+		nodes = len(f.tree.Nodes)
+	}
+	h := sched.NewHeap(f.n + nodes)
+	if f.tree != nil {
+		// One reallocation event per tree node, each on its own cadence.
+		// Event IDs are preorder node indices, so simultaneous events pop
+		// parent-first and the due list reaches Tree.Realloc in preorder.
+		for i := range f.tree.Nodes {
+			h.Push(sched.Event{Time: 0, Kind: evRealloc, ID: int32(i)})
+		}
+	} else {
+		h.Push(sched.Event{Time: 0, Kind: evRealloc})
+	}
 	for _, fb := range f.boards {
 		fb.wokeEpoch = -1
 		h.Push(sched.Event{Time: 0, Kind: evWake, ID: int32(fb.idx)})
@@ -42,10 +55,16 @@ func (f *fleetRun) runEvent() error {
 			fb.samples = make([]fleetSample, f.epochLen)
 		}
 	}
-	batch := make([]sched.Event, 0, f.n+1)
+	batch := make([]sched.Event, 0, f.n+nodes)
 	ready := make([]*fleetBoard, 0, f.n)
 
 	for h.Len() > 0 {
+		// Lockstep stops stepping the instant the last board finishes; a
+		// tree run can still hold future realloc events for slow-cadence
+		// coordinators, which must not fire on an empty fleet.
+		if f.live.Load() == 0 {
+			break
+		}
 		batch = h.PopBatch(batch[:0])
 		t := batch[0].Time
 		barrier := t + f.epochLen
@@ -54,11 +73,16 @@ func (f *fleetRun) runEvent() error {
 		}
 		reallocFired := false
 		ready = ready[:0]
+		f.due = f.due[:0]
 		for _, e := range batch {
 			switch e.Kind {
 			case evRealloc:
-				f.realloc()
-				reallocFired = true
+				if f.tree != nil {
+					f.due = append(f.due, int(e.ID))
+				} else {
+					f.realloc()
+					reallocFired = true
+				}
 			case evWake:
 				fb := f.boards[e.ID]
 				if !fb.done {
@@ -66,6 +90,10 @@ func (f *fleetRun) runEvent() error {
 					ready = append(ready, fb)
 				}
 			}
+		}
+		if len(f.due) > 0 {
+			f.reallocTree()
+			reallocFired = true
 		}
 		if len(ready) == 0 {
 			continue
@@ -89,11 +117,24 @@ func (f *fleetRun) runEvent() error {
 		if f.opt.Trace != nil {
 			f.flushEpoch(t, epochSteps, reallocFired)
 		}
-		if f.live.Load() > 0 && barrier < f.maxSteps {
-			h.Push(sched.Event{Time: barrier, Kind: evRealloc})
-			for _, fb := range f.boards {
-				if !fb.done {
-					h.Push(sched.Event{Time: barrier, Kind: evWake, ID: int32(fb.idx)})
+		if f.live.Load() > 0 {
+			if f.tree != nil {
+				// Each node that fired reschedules on its own period; the
+				// others' events are still pending in the heap.
+				for _, i := range f.due {
+					next := t + f.tree.Nodes[i].Period
+					if next < f.maxSteps {
+						h.Push(sched.Event{Time: next, Kind: evRealloc, ID: int32(i)})
+					}
+				}
+			} else if barrier < f.maxSteps {
+				h.Push(sched.Event{Time: barrier, Kind: evRealloc})
+			}
+			if barrier < f.maxSteps {
+				for _, fb := range f.boards {
+					if !fb.done {
+						h.Push(sched.Event{Time: barrier, Kind: evWake, ID: int32(fb.idx)})
+					}
 				}
 			}
 		}
@@ -132,47 +173,70 @@ func (f *fleetRun) runBatch(fb *fleetBoard, start, barrier int) {
 //     recorded as Done, contributing only its cap share, like in lockstep.
 func (f *fleetRun) flushEpoch(t, epochSteps int, reallocFired bool) {
 	for j := 0; j < epochSteps; j++ {
-		rec := obs.FleetRecord{
-			Step:    t + j,
-			TimeS:   float64(t+j+1) * f.intervalS,
-			BudgetW: f.opt.Budget.TotalW,
-			Realloc: j == 0 && reallocFired,
+		if f.tree == nil {
+			f.opt.Trace.Add(f.epochRecord(t, j, 0, f.n, f.opt.Budget.TotalW, "",
+				j == 0 && reallocFired))
+			continue
 		}
-		for i, fb := range f.boards {
-			rec.AllocW += f.caps[i]
-			liveAt := 0
-			if fb.wokeEpoch == t {
-				liveAt = fb.batchLen
-				if fb.done {
-					liveAt--
-				}
-			}
-			if j >= liveAt {
-				rec.Done++
-				continue
-			}
-			rec.Live++
-			if f.caps[i] > 0 {
-				if rec.CapMinW == 0 || f.caps[i] < rec.CapMinW {
-					rec.CapMinW = f.caps[i]
-				}
-				if f.caps[i] > rec.CapMaxW {
-					rec.CapMaxW = f.caps[i]
-				}
-			}
-			s := fb.samples[j]
-			if s.budgetThrottled {
-				rec.Throttled++
-			}
-			p := s.bigW + s.littleW + f.cfg.BasePowerW
-			if !math.IsNaN(p) && !math.IsInf(p, 0) {
-				rec.PowerW += p
-			}
-			b := s.bips
-			if !math.IsNaN(b) && !math.IsInf(b, 0) {
-				rec.BIPS += b
-			}
+		// One record per tree node, preorder (root first, node path ""),
+		// exactly as the lockstep engine's traceStep writes them. Budgets
+		// and caps changed only at the epoch start, so reading them at the
+		// flush sees the same values every interval of the epoch saw.
+		for i := range f.tree.Nodes {
+			nd := &f.tree.Nodes[i]
+			f.opt.Trace.Add(f.epochRecord(t, j, nd.First, nd.Boards, nd.BudgetW, nd.Path,
+				j == 0 && reallocFired && f.tree.NodeRealloc(i, t)))
 		}
-		f.opt.Trace.Add(rec)
 	}
+}
+
+// epochRecord reconstructs one node-range record for interval t+j of the
+// epoch that started at t, from the boards' latched samples.
+func (f *fleetRun) epochRecord(t, j, first, count int, budgetW float64,
+	node string, realloc bool) obs.FleetRecord {
+
+	rec := obs.FleetRecord{
+		Step:    t + j,
+		TimeS:   float64(t+j+1) * f.intervalS,
+		BudgetW: budgetW,
+		Realloc: realloc,
+		Node:    node,
+	}
+	for i := first; i < first+count; i++ {
+		fb := f.boards[i]
+		rec.AllocW += f.caps[i]
+		liveAt := 0
+		if fb.wokeEpoch == t {
+			liveAt = fb.batchLen
+			if fb.done {
+				liveAt--
+			}
+		}
+		if j >= liveAt {
+			rec.Done++
+			continue
+		}
+		rec.Live++
+		if f.caps[i] > 0 {
+			if rec.CapMinW == 0 || f.caps[i] < rec.CapMinW {
+				rec.CapMinW = f.caps[i]
+			}
+			if f.caps[i] > rec.CapMaxW {
+				rec.CapMaxW = f.caps[i]
+			}
+		}
+		s := fb.samples[j]
+		if s.budgetThrottled {
+			rec.Throttled++
+		}
+		p := s.bigW + s.littleW + f.cfg.BasePowerW
+		if !math.IsNaN(p) && !math.IsInf(p, 0) {
+			rec.PowerW += p
+		}
+		b := s.bips
+		if !math.IsNaN(b) && !math.IsInf(b, 0) {
+			rec.BIPS += b
+		}
+	}
+	return rec
 }

@@ -34,8 +34,24 @@ type FleetOptions struct {
 	Budget fleet.Budget
 	// Policy divides the budget across boards at reallocation points. It is
 	// invoked from the coordination goroutine only, so stateful policies
-	// need no locking. Required.
+	// need no locking. Required for flat runs (Topology nil); ignored for
+	// hierarchical runs, which use TreePolicy.
 	Policy fleet.Policy
+	// Topology, when non-nil, runs the fleet hierarchically: a tree of
+	// coordinators each re-dividing its incoming budget over its children
+	// (leaves over their boards) with its own policy instance, higher
+	// levels on slower cadences. Topology.Boards must equal the member
+	// count. A one-level topology is proven byte-identical to the flat
+	// path (results, fault streams, fleet and board traces).
+	Topology *fleet.Topology
+	// TreePolicy constructs one budget policy per tree node. Required when
+	// Topology is set (stateful policies must not be shared across nodes).
+	TreePolicy func() fleet.Policy
+	// CadenceFactor is the per-level reallocation slowdown for hierarchical
+	// runs: a node at height h reallocates every ReallocEvery ×
+	// CadenceFactor^(h−1) intervals. 0 selects
+	// fleet.DefaultCadenceFactor; 1 puts every level on the leaf cadence.
+	CadenceFactor int
 	// ReallocEvery is the reallocation period in control intervals (the
 	// fleet layer runs slower than the per-board layers, as the OS layer
 	// runs slower than the HW layer in the paper). Default 10 (5 s at the
@@ -109,10 +125,20 @@ type FleetResult struct {
 	// cross-board analogue of the sweeps' geometric-mean degradation).
 	GeoExD float64
 
-	// Reallocations counts policy invocations; Steps counts lockstep
-	// control intervals executed.
+	// Reallocations counts reallocation instants (coordinator invocations);
+	// Steps counts lockstep control intervals executed.
 	Reallocations int
 	Steps         int
+
+	// Topology is the coordinator tree spec of a hierarchical run ("" for
+	// flat); Nodes and Depth its coordinator count and level count.
+	Topology string
+	Nodes    int
+	Depth    int
+	// NodeReallocations counts per-node policy invocations across the tree
+	// (0 for flat runs). Higher levels fire less often, so it grows slower
+	// than Reallocations × Nodes.
+	NodeReallocations int
 }
 
 // fleetBoard is the per-board runtime state of a fleet run. Workers touch
@@ -175,8 +201,17 @@ func FleetRun(cfg board.Config, members []FleetMember, opt FleetOptions) (*Fleet
 	if n == 0 {
 		return nil, fmt.Errorf("core: fleet run needs at least one member")
 	}
-	if opt.Policy == nil {
+	if opt.Topology == nil && opt.Policy == nil {
 		return nil, fmt.Errorf("core: fleet run needs a budget policy")
+	}
+	if opt.Topology != nil {
+		if opt.TreePolicy == nil {
+			return nil, fmt.Errorf("core: hierarchical fleet run needs a TreePolicy factory")
+		}
+		if opt.Topology.Boards != n {
+			return nil, fmt.Errorf("core: topology %q covers %d boards for %d members",
+				opt.Topology.Spec, opt.Topology.Boards, n)
+		}
 	}
 	bud := opt.Budget
 	if bud.TotalW <= 0 || bud.MinW <= 0 || bud.MaxW < bud.MinW {
@@ -214,10 +249,23 @@ func FleetRun(cfg board.Config, members []FleetMember, opt FleetOptions) (*Fleet
 		intervalS: opt.Interval.Seconds(),
 		epochLen:  opt.ReallocEvery,
 		res: &FleetResult{
-			Policy:  opt.Policy.Name(),
 			BudgetW: bud.TotalW,
 			Boards:  make([]FleetBoardResult, n),
 		},
+	}
+	if opt.Topology != nil {
+		tree, err := fleet.NewTree(opt.Topology, bud, opt.ReallocEvery, opt.CadenceFactor, opt.TreePolicy)
+		if err != nil {
+			return nil, err
+		}
+		f.tree = tree
+		f.due = make([]int, 0, len(tree.Nodes))
+		f.res.Policy = tree.PolicyName()
+		f.res.Topology = opt.Topology.Spec
+		f.res.Nodes = len(tree.Nodes)
+		f.res.Depth = opt.Topology.Depth
+	} else {
+		f.res.Policy = opt.Policy.Name()
 	}
 	f.live.Store(int64(n))
 	for i, m := range members {
@@ -228,6 +276,13 @@ func FleetRun(cfg board.Config, members []FleetMember, opt FleetOptions) (*Fleet
 		fb := &fleetBoard{idx: i, sess: sess, w: m.Workload}
 		if opt.Faults.Enabled() {
 			runKey := fault.RunKey(m.Scheme.faultKey(), m.Workload.Name(), i)
+			if f.tree != nil {
+				// Boards key their fault streams by (leaf path, leaf-local
+				// index): collision-free across racks, and reducing to the
+				// flat key — byte-identical streams — in a one-level tree.
+				path, local := f.tree.BoardCoord(i)
+				runKey = fault.RunKeyPath(m.Scheme.faultKey(), m.Workload.Name(), path, local)
+			}
 			fb.inj = opt.Faults.NewInjector(runKey)
 			fb.w = opt.Faults.Disturb(fb.w, runKey)
 		}
@@ -270,6 +325,11 @@ type fleetRun struct {
 	tel    []fleet.Telemetry
 	res    *FleetResult
 
+	// tree is the coordinator hierarchy of a hierarchical run (nil for
+	// flat); due is its reusable due-node scratch buffer.
+	tree *fleet.Tree
+	due  []int
+
 	n         int
 	maxSteps  int
 	intervalS float64
@@ -286,10 +346,7 @@ type fleetRun struct {
 // then step every board under a per-interval pool barrier.
 func (f *fleetRun) runLockstep() error {
 	for step := 0; step < f.maxSteps && f.live.Load() > 0; step++ {
-		realloc := step%f.epochLen == 0
-		if realloc {
-			f.realloc()
-		}
+		realloc := f.reallocAt(step)
 		err := pool.ForEachMetered(f.workers, f.n, f.opt.Metrics, func(i int) error {
 			fb := f.boards[i]
 			if fb.done {
@@ -303,11 +360,64 @@ func (f *fleetRun) runLockstep() error {
 		}
 		f.res.Steps++
 		if f.opt.Trace != nil {
-			f.opt.Trace.Add(fleetRecord(step, float64(step+1)*f.intervalS,
-				f.opt.Budget, f.caps, f.boards, realloc, f.cfg.BasePowerW))
+			f.traceStep(step, realloc)
 		}
 	}
 	return nil
+}
+
+// reallocAt fires whatever coordination is due at the given step — the flat
+// policy every epoch, or the due tree nodes on their own cadences — and
+// reports whether any reallocation happened. Every leaf coordinator runs on
+// the epoch cadence, so tree reallocation instants coincide with the flat
+// ones; only the set of higher nodes firing varies.
+func (f *fleetRun) reallocAt(step int) bool {
+	if f.tree == nil {
+		if step%f.epochLen != 0 {
+			return false
+		}
+		f.realloc()
+		return true
+	}
+	f.due = f.tree.Due(step, f.due[:0])
+	if len(f.due) == 0 {
+		return false
+	}
+	f.reallocTree()
+	return true
+}
+
+// reallocTree is the hierarchical counterpart of realloc: refresh the
+// per-board telemetry, let the due tree nodes (already in f.due, preorder)
+// re-divide their budgets top-down, then actuate the resulting caps.
+func (f *fleetRun) reallocTree() {
+	for i, fb := range f.boards {
+		f.tel[i] = fleetTelemetry(fb, f.caps[i], f.cfg.BasePowerW)
+	}
+	f.tree.Realloc(f.due, f.tel, f.caps)
+	f.actuate()
+	f.res.Reallocations++
+	f.res.NodeReallocations += len(f.due)
+}
+
+// traceStep writes the interval's fleet-trace records: the single flat
+// record, or — hierarchically — one record per tree node in preorder, the
+// root first. The root record spans all boards with the full budget and an
+// empty node path, so a one-level tree's trace is byte-identical to the
+// flat one.
+func (f *fleetRun) traceStep(step int, realloc bool) {
+	timeS := float64(step+1) * f.intervalS
+	if f.tree == nil {
+		f.opt.Trace.Add(fleetRecordRange(step, timeS, f.opt.Budget.TotalW,
+			f.caps, f.boards, 0, f.n, realloc, f.cfg.BasePowerW, ""))
+		return
+	}
+	for i := range f.tree.Nodes {
+		nd := &f.tree.Nodes[i]
+		f.opt.Trace.Add(fleetRecordRange(step, timeS, nd.BudgetW,
+			f.caps, f.boards, nd.First, nd.Boards,
+			realloc && f.tree.NodeRealloc(i, step), f.cfg.BasePowerW, nd.Path))
+	}
 }
 
 // realloc runs the budget policy and actuates the resulting caps. It is
@@ -324,6 +434,14 @@ func (f *fleetRun) realloc() {
 		f.tel[i] = fleetTelemetry(fb, f.caps[i], f.cfg.BasePowerW)
 	}
 	f.opt.Policy.Allocate(f.caps, f.opt.Budget, f.tel)
+	f.actuate()
+	f.res.Reallocations++
+}
+
+// actuate writes the freshly allocated caps to the boards. A finished
+// board's cap is zeroed exactly once (capZeroed); afterwards the board is
+// skipped instead of being rewritten every period.
+func (f *fleetRun) actuate() {
 	for i, fb := range f.boards {
 		if fb.done {
 			f.caps[i] = 0
@@ -335,7 +453,6 @@ func (f *fleetRun) realloc() {
 		}
 		fb.b.SetPowerCapW(f.caps[i])
 	}
-	f.res.Reallocations++
 }
 
 // stepBoard executes one control interval on one board: advance the fault
@@ -435,17 +552,22 @@ func fleetTelemetry(fb *fleetBoard, capW, baseW float64) fleet.Telemetry {
 	}
 }
 
-// fleetRecord aggregates one lockstep interval into the fleet trace record.
-func fleetRecord(step int, timeS float64, bud fleet.Budget, caps []float64,
-	boards []*fleetBoard, realloc bool, baseW float64) obs.FleetRecord {
+// fleetRecordRange aggregates one interval over one node's board range
+// [first, first+count) into a fleet trace record — the whole fleet for the
+// flat record (node ""), a subtree for a per-node record.
+func fleetRecordRange(step int, timeS float64, budgetW float64, caps []float64,
+	boards []*fleetBoard, first, count int, realloc bool, baseW float64,
+	node string) obs.FleetRecord {
 
 	rec := obs.FleetRecord{
 		Step:    step,
 		TimeS:   timeS,
-		BudgetW: bud.TotalW,
+		BudgetW: budgetW,
 		Realloc: realloc,
+		Node:    node,
 	}
-	for i, fb := range boards {
+	for i := first; i < first+count; i++ {
+		fb := boards[i]
 		rec.AllocW += caps[i]
 		if fb.done {
 			rec.Done++

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"yukta/internal/fault"
+	"yukta/internal/fleet"
+	"yukta/internal/obs"
+)
+
+// treeFleetFingerprint executes one hierarchical fleet run and returns the
+// same observable output fleetFingerprint captures for flat runs: the fleet
+// JSONL trace, every per-board JSONL trace, and the shared result scalars.
+func treeFleetFingerprint(t *testing.T, p *Platform, sch Scheme, class string,
+	n int, topo *fleet.Topology, eng Engine) []byte {
+	t.Helper()
+	members := fleetTestMembers(t, p, n, sch)
+	opt := FleetOptions{
+		Budget:   fleet.Budget{TotalW: 2.2 * float64(n), MinW: 1.0, MaxW: 4.5},
+		Topology: topo,
+		TreePolicy: func() fleet.Policy {
+			pol, err := fleet.NewPolicy("feedback")
+			if err != nil {
+				panic(err)
+			}
+			return pol
+		},
+		MaxTime:     30 * time.Second,
+		Parallelism: 4,
+		Engine:      eng,
+	}
+	if class != "clean" {
+		opt.Faults = fault.PresetClass(7, 1.0, class)
+	}
+	opt.Trace = obs.NewFleetRecorder(0)
+	boardRecs := make([]*obs.Recorder, n)
+	for i := range boardRecs {
+		boardRecs[i] = obs.NewRecorder(0)
+	}
+	opt.BoardTraces = boardRecs
+	res, err := FleetRun(p.Cfg, members, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Topology != topo.Spec || res.Nodes != len(topo.Nodes) || res.Depth != topo.Depth {
+		t.Fatalf("tree result metadata %q/%d/%d, want %q/%d/%d",
+			res.Topology, res.Nodes, res.Depth, topo.Spec, len(topo.Nodes), topo.Depth)
+	}
+	if res.NodeReallocations < res.Reallocations {
+		t.Fatalf("node reallocations %d < realloc instants %d", res.NodeReallocations, res.Reallocations)
+	}
+	return fingerprintFleetOutput(t, opt.Trace, boardRecs, res)
+}
+
+// TestFlatTreeMatchesLegacyFleet is the degenerate-tree equivalence gate: a
+// one-level topology must reproduce the flat FleetRun byte-identically —
+// every fleet trace record, every per-board trace record, every shared
+// result scalar, every fault stream — for every scheme × fault class ×
+// N∈{1,4,16}.
+func TestFlatTreeMatchesLegacyFleet(t *testing.T) {
+	p := testPlatform(t)
+	fleetNs := []int{1, 4, 16}
+	for _, sch := range equivSchemes(p) {
+		for ci, class := range equivClasses() {
+			t.Run(sch.Name+"/"+class, func(t *testing.T) {
+				t.Parallel()
+				ns := fleetNs
+				if testing.Short() {
+					// Rotate one fleet size per cell in -short mode, like
+					// TestEngineEquivalence; the full matrix still covers
+					// every N per scheme.
+					ns = fleetNs[ci%3 : ci%3+1]
+				}
+				for _, n := range ns {
+					topo, err := fleet.ParseTopology(strconv.Itoa(n))
+					if err != nil {
+						t.Fatal(err)
+					}
+					flat := fleetFingerprint(t, p, sch, class, n, EngineEvent)
+					tree := treeFleetFingerprint(t, p, sch, class, n, topo, EngineEvent)
+					if len(flat) == 0 {
+						t.Fatalf("empty fingerprint at N=%d", n)
+					}
+					diffFingerprints(t, fmt.Sprintf("flat-vs-tree N=%d", n), flat, tree)
+				}
+			})
+		}
+	}
+	// Spot-check the lockstep engine on one cell: the degenerate tree must
+	// be flat-identical on the reference engine too.
+	sch := equivSchemes(p)[0]
+	topo, err := fleet.ParseTopology("4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := fleetFingerprint(t, p, sch, "all", 4, EngineLockstep)
+	tree := treeFleetFingerprint(t, p, sch, "all", 4, topo, EngineLockstep)
+	diffFingerprints(t, "flat-vs-tree lockstep", flat, tree)
+}
+
+// TestTreeEngineEquivalence extends the cross-engine gate to hierarchical
+// runs: for depth-2 and depth-3 (ragged) topologies, the lockstep and event
+// engines must produce byte-identical observable output, fault classes
+// included.
+func TestTreeEngineEquivalence(t *testing.T) {
+	p := testPlatform(t)
+	topos := []string{"4x4", "2x2x2", "root=a,b;a=6;b=r1,r2;r1=3;r2=3"}
+	schemes := equivSchemes(p)
+	for ti, spec := range topos {
+		for ci, class := range equivClasses() {
+			if testing.Short() && ci%2 == 1 {
+				continue
+			}
+			sch := schemes[(ti+ci)%len(schemes)]
+			t.Run(fmt.Sprintf("%s/%s", spec, class), func(t *testing.T) {
+				t.Parallel()
+				topo, err := fleet.ParseTopology(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lock := treeFleetFingerprint(t, p, sch, class, topo.Boards, topo, EngineLockstep)
+				ev := treeFleetFingerprint(t, p, sch, class, topo.Boards, topo, EngineEvent)
+				if len(lock) == 0 {
+					t.Fatal("empty tree fingerprint")
+				}
+				diffFingerprints(t, "tree "+spec, lock, ev)
+			})
+		}
+	}
+}
+
+// TestHierarchicalFleetTrace pins the per-node trace shape and the recorded
+// conservation invariant on a depth-2 run: every interval emits one record
+// per tree node with the root (empty node path) first, per-node allocations
+// never exceed the node's budget, and higher-level realloc marks thin out
+// by the cadence factor.
+func TestHierarchicalFleetTrace(t *testing.T) {
+	p := testPlatform(t)
+	topo, err := fleet.ParseTopology("2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := equivSchemes(p)[0]
+	members := fleetTestMembers(t, p, 4, sch)
+	rec := obs.NewFleetRecorder(0)
+	opt := FleetOptions{
+		Budget:   fleet.Budget{TotalW: 8.8, MinW: 1.0, MaxW: 4.5},
+		Topology: topo,
+		TreePolicy: func() fleet.Policy {
+			pol, _ := fleet.NewPolicy("feedback")
+			return pol
+		},
+		ReallocEvery: 10,
+		MaxTime:      30 * time.Second,
+		Trace:        rec,
+	}
+	res, err := FleetRun(p.Cfg, members, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := len(topo.Nodes)
+	if rec.Total() != res.Steps*nodes {
+		t.Fatalf("trace has %d records for %d steps × %d nodes", rec.Total(), res.Steps, nodes)
+	}
+	rootReallocs, nodeReallocs := 0, 0
+	for i := 0; i < rec.Len(); i++ {
+		r := rec.At(i)
+		if wantNode := topo.Nodes[i%nodes].Path; r.Node != wantNode {
+			t.Fatalf("record %d node %q, want %q", i, r.Node, wantNode)
+		}
+		if r.Step != i/nodes {
+			t.Fatalf("record %d step %d, want %d", i, r.Step, i/nodes)
+		}
+		if r.AllocW > r.BudgetW+1e-9 {
+			t.Fatalf("record %d (node %q): alloc %.9f exceeds budget %.9f", i, r.Node, r.AllocW, r.BudgetW)
+		}
+		if r.Realloc {
+			nodeReallocs++
+			if r.Node == "" {
+				rootReallocs++
+				if r.Step%(10*fleet.DefaultCadenceFactor) != 0 {
+					t.Fatalf("root realloc marked at step %d off its cadence", r.Step)
+				}
+			}
+		}
+	}
+	if rootReallocs == 0 || nodeReallocs <= rootReallocs {
+		t.Fatalf("realloc marks: root %d, total %d", rootReallocs, nodeReallocs)
+	}
+	if res.NodeReallocations <= res.Reallocations {
+		t.Fatalf("node reallocations %d vs instants %d on a depth-2 tree",
+			res.NodeReallocations, res.Reallocations)
+	}
+}

@@ -49,6 +49,10 @@ type Context struct {
 	// FleetSweep; 0 means DefaultFleetBoardBudgetW. See Options.FleetBudgetW.
 	FleetBudgetW float64
 
+	// FleetTopo is the coordinator topology spec applied to every fleet
+	// sweep cell, or "" for the flat path; see Options.FleetTopo.
+	FleetTopo string
+
 	// Engine is the simulation core threaded into every run; see
 	// Options.Engine.
 	Engine core.Engine
@@ -77,6 +81,7 @@ func NewContextWithOptions(opt Options) (*Context, error) {
 		Supervise:    opt.Supervise,
 		TraceDir:     opt.TraceDir,
 		FleetBudgetW: opt.FleetBudgetW,
+		FleetTopo:    opt.FleetTopo,
 		Engine:       opt.Engine,
 	}
 	if opt.Metrics {

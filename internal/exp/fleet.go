@@ -53,6 +53,9 @@ type FleetCell struct {
 	// the time limit.
 	Reallocations int
 	Incomplete    int
+	// NodeReallocations counts per-node policy invocations across the
+	// coordinator tree of a hierarchical run (0 for flat runs).
+	NodeReallocations int
 }
 
 // FleetTable is the fleet sweep result: boards × policies × fault classes,
@@ -72,6 +75,9 @@ type FleetTable struct {
 	Classes  []string
 	// Apps is the mix boards cycle through.
 	Apps []string
+	// Topo is the coordinator topology spec every cell ran under, or "" for
+	// the flat single-coordinator path.
+	Topo string
 	// Cells[ci][ni][pi] is the outcome for Classes[ci], Ns[ni], Policies[pi].
 	Cells [][][]FleetCell
 }
@@ -100,8 +106,12 @@ func (t *FleetTable) Cell(class string, n int, policy string) *FleetCell {
 // Render writes the sweep as an aligned table, one row per (class, N,
 // policy) with the EDP ratio against the row group's first policy.
 func (t *FleetTable) Render() string {
-	tab := &series.Table{Header: []string{"faults", "N", "policy", "EDP (J·s)",
-		"vs " + t.Policies[0], "makespan (s)", "energy (J)", "reallocs", "incomplete"}}
+	header := []string{"faults", "N", "policy", "EDP (J·s)",
+		"vs " + t.Policies[0], "makespan (s)", "energy (J)", "reallocs", "incomplete"}
+	if t.Topo != "" {
+		header = append(header, "node reallocs")
+	}
+	tab := &series.Table{Header: header}
 	for ci, cls := range t.Classes {
 		for ni, n := range t.Ns {
 			base := t.Cells[ci][ni][0].EDP
@@ -111,17 +121,24 @@ func (t *FleetTable) Render() string {
 				if pi > 0 && base > 0 {
 					ratio = fmt.Sprintf("%.3f", c.EDP/base)
 				}
-				tab.AddRow(cls, fmt.Sprintf("%d", n), c.Policy,
+				row := []string{cls, fmt.Sprintf("%d", n), c.Policy,
 					fmt.Sprintf("%.0f", c.EDP), ratio,
 					fmt.Sprintf("%.1f", c.MakespanS),
 					fmt.Sprintf("%.1f", c.EnergyJ),
 					fmt.Sprintf("%d", c.Reallocations),
-					fmt.Sprintf("%d", c.Incomplete))
+					fmt.Sprintf("%d", c.Incomplete)}
+				if t.Topo != "" {
+					row = append(row, fmt.Sprintf("%d", c.NodeReallocations))
+				}
+				tab.AddRow(row...)
 			}
 		}
 	}
 	var sb stringsBuilder
 	fmt.Fprintf(&sb, "%s (seed %d, %.1f W/board, apps: %v)\n", t.Title, t.Seed, t.BoardBudgetW, t.Apps)
+	if t.Topo != "" {
+		fmt.Fprintf(&sb, "coordinator topology: %s\n", t.Topo)
+	}
 	tab.Render(&sb)
 	return sb.String()
 }
@@ -143,29 +160,63 @@ func (c *Context) fleetMembers(n int, apps []string) ([]core.FleetMember, error)
 }
 
 // fleetOpts assembles one fleet run's options for the given size, policy and
-// fault class ("clean" = no faults).
+// fault class ("clean" = no faults). With a FleetTopo set on the context the
+// run is hierarchical: the topology is parsed per cell and every tree node
+// gets a fresh instance of the named policy.
 func (c *Context) fleetOpts(n int, policyName, class string, boardBudgetW float64) (core.FleetOptions, error) {
-	pol, err := fleet.NewPolicy(policyName)
-	if err != nil {
-		return core.FleetOptions{}, err
-	}
 	opt := core.FleetOptions{
 		Budget: fleet.Budget{
 			TotalW: boardBudgetW * float64(n),
 			MinW:   DefaultFleetMinCapW,
 			MaxW:   DefaultFleetMaxCapW,
 		},
-		Policy:      pol,
 		MaxTime:     1500 * time.Second,
 		Interval:    500 * time.Millisecond,
 		Parallelism: c.Parallelism,
 		Metrics:     c.Metrics,
 		Engine:      c.Engine,
 	}
+	if c.FleetTopo != "" {
+		topo, err := fleet.ParseTopology(c.FleetTopo)
+		if err != nil {
+			return core.FleetOptions{}, err
+		}
+		if topo.Boards != n {
+			return core.FleetOptions{}, fmt.Errorf(
+				"exp: fleet topology %q covers %d boards, sweep size is %d", c.FleetTopo, topo.Boards, n)
+		}
+		if _, err := fleet.NewPolicy(policyName); err != nil {
+			return core.FleetOptions{}, err
+		}
+		opt.Topology = topo
+		opt.TreePolicy = treePolicyFactory(policyName)
+	} else {
+		pol, err := fleet.NewPolicy(policyName)
+		if err != nil {
+			return core.FleetOptions{}, err
+		}
+		opt.Policy = pol
+	}
 	if class != "clean" {
 		opt.Faults = fault.PresetClass(c.Seed, DefaultClassIntensity, class)
 	}
 	return opt, nil
+}
+
+// treePolicyFactory returns the per-node policy constructor for hierarchical
+// runs. Callers validate the policy name before building the factory, so a
+// bad name surfaces as an error from option assembly instead of a panic
+// inside the tree.
+func treePolicyFactory(policyName string) func() fleet.Policy {
+	return func() fleet.Policy {
+		pol, err := fleet.NewPolicy(policyName)
+		if err != nil {
+			// Unreachable when the name was validated by the caller via
+			// fleet.NewPolicy/ParsePolicy; a factory cannot return an error.
+			panic(err)
+		}
+		return pol
+	}
 }
 
 // FleetSweep runs the fleet coordination experiment: for every (fault class,
@@ -178,7 +229,10 @@ func (c *Context) fleetOpts(n int, policyName, class string, boardBudgetW float6
 // and each fleet run fans its per-interval board stepping across the same
 // pool budget; results are deterministic at any Parallelism. With a TraceDir
 // set, each cell writes its coordination-layer trace as
-// fleet-<class>-n<N>-<policy>.fleet.jsonl.
+// fleet-<class>-n<N>-<policy>.fleet.jsonl. With a FleetTopo set on the
+// context every cell runs hierarchically under that topology (its board
+// count must equal each sweep size): trace records then carry the node path
+// of the coordinator they describe, and the stem gains a topology suffix.
 func (c *Context) FleetSweep(ns []int, policies []string, classes []string) (*FleetTable, error) {
 	if len(ns) == 0 {
 		ns = []int{4, 16}
@@ -220,6 +274,7 @@ func (c *Context) FleetSweep(ns []int, policies []string, classes []string) (*Fl
 		Policies:     policies,
 		Classes:      classes,
 		Apps:         apps,
+		Topo:         c.FleetTopo,
 		Cells:        make([][][]FleetCell, len(classes)),
 	}
 	for ci := range classes {
@@ -250,17 +305,21 @@ func (c *Context) FleetSweep(ns []int, policies []string, classes []string) (*Fl
 		}
 		if rec != nil {
 			stem := fmt.Sprintf("fleet-%s-n%d-%s", cleanName(class), n, cleanName(policyName))
+			if c.FleetTopo != "" {
+				stem += "-" + cleanName(c.FleetTopo)
+			}
 			if err := c.writeFleetTrace(stem, rec); err != nil {
 				return err
 			}
 		}
 		cell := FleetCell{
-			Policy:        res.Policy,
-			EDP:           res.EDP,
-			MakespanS:     res.MakespanS,
-			EnergyJ:       res.EnergyJ,
-			GeoExD:        res.GeoExD,
-			Reallocations: res.Reallocations,
+			Policy:            res.Policy,
+			EDP:               res.EDP,
+			MakespanS:         res.MakespanS,
+			EnergyJ:           res.EnergyJ,
+			GeoExD:            res.GeoExD,
+			Reallocations:     res.Reallocations,
+			NodeReallocations: res.NodeReallocations,
 		}
 		for _, br := range res.Boards {
 			if !br.Completed {

@@ -1,8 +1,12 @@
 package exp
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"yukta/internal/obs"
 )
 
 // TestFleetSweepFeedbackWins gates the fleet coordination headline (ISSUE 5,
@@ -32,6 +36,67 @@ func TestFleetSweepFeedbackWins(t *testing.T) {
 		t.Fatalf("render output malformed:\n%s", out)
 	}
 	t.Logf("\n%s", out)
+}
+
+// TestFleetSweepTopology runs the sweep hierarchically (2 racks × 2 boards)
+// and checks the tree-specific surface end to end: per-node reallocation
+// accounting in the cells, the topology line and column in the render, and a
+// schema-valid coordination trace whose records carry the rack node paths.
+func TestFleetSweepTopology(t *testing.T) {
+	c := *testContext(t)
+	c.FleetTopo = "2x2"
+	c.TraceDir = t.TempDir()
+	tab, err := c.FleetSweep([]int{4}, []string{"feedback"}, []string{"clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := tab.Cell("clean", 4, "slack-feedback")
+	if cell == nil {
+		t.Fatalf("missing feedback cell: %+v", tab)
+	}
+	if cell.EDP <= 0 || cell.Reallocations == 0 {
+		t.Fatalf("degenerate cell %+v", cell)
+	}
+	if cell.NodeReallocations <= cell.Reallocations {
+		t.Fatalf("node reallocations %d should exceed realloc instants %d on a depth-2 tree",
+			cell.NodeReallocations, cell.Reallocations)
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "coordinator topology: 2x2") || !strings.Contains(out, "node reallocs") {
+		t.Fatalf("render missing topology surface:\n%s", out)
+	}
+	path := filepath.Join(c.TraceDir, "fleet-clean-n4-feedback-2x2.fleet.jsonl")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("topology trace not written: %v", err)
+	}
+	defer f.Close()
+	n, err := obs.ValidateFleetJSONL(f)
+	if err != nil {
+		t.Fatalf("topology trace invalid: %v", err)
+	}
+	if n == 0 || n%3 != 0 {
+		t.Fatalf("trace has %d records, want a positive multiple of the 3 tree nodes", n)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rack := range []string{`"node":"0"`, `"node":"1"`} {
+		if got := strings.Count(string(data), rack); got != n/3 {
+			t.Fatalf("rack marker %s on %d of %d records, want one per interval", rack, got, n/3)
+		}
+	}
+}
+
+// TestFleetSweepTopologyMismatch pins the board-count check: a topology that
+// does not cover the sweep size must fail option assembly, not the run.
+func TestFleetSweepTopologyMismatch(t *testing.T) {
+	c := *testContext(t)
+	c.FleetTopo = "2x2"
+	if _, err := c.FleetSweep([]int{8}, []string{"feedback"}, []string{"clean"}); err == nil {
+		t.Fatal("sweep accepted a 4-board topology for an 8-board fleet")
+	}
 }
 
 // TestFleetSweepDefaults exercises the default axes at the small size only

@@ -181,3 +181,57 @@ func TestGoldenFleetTrace(t *testing.T) {
 		compareGolden(t, fmt.Sprintf("fleet-feedback-n4-board%d", i), bb.Bytes())
 	}
 }
+
+// TestGoldenHierarchicalFleetTrace pins the coordinator-tree layer: the same
+// four-board fleet as TestGoldenFleetTrace, but run under a 2×2 rack topology
+// with one slack-feedback policy per node. The fleet fixture carries three
+// records per interval (DC root plus two racks, the racks tagged with their
+// node paths) and the per-board fixtures pin that rack-local budget division
+// reaches board physics deterministically.
+func TestGoldenHierarchicalFleetTrace(t *testing.T) {
+	c := testContext(t)
+	topo, err := fleet.ParseTopology("2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := c.P.YuktaFullSSV(core.DefaultHWParams(), core.DefaultOSParams())
+	members := make([]core.FleetMember, 4)
+	for i, app := range quickApps {
+		w, err := workload.Lookup(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = core.FleetMember{Scheme: sch, Workload: w}
+	}
+	rec := obs.NewFleetRecorder(0)
+	boardRecs := make([]*obs.Recorder, len(members))
+	for i := range boardRecs {
+		boardRecs[i] = obs.NewRecorder(0)
+	}
+	opt := core.FleetOptions{
+		Budget:   fleet.Budget{TotalW: 8.8, MinW: 1.0, MaxW: 4.5},
+		Topology: topo,
+		TreePolicy: func() fleet.Policy {
+			return fleet.NewSlackFeedback()
+		},
+		MaxTime:     60 * time.Second,
+		Faults:      fault.Preset(1, 0.5),
+		Trace:       rec,
+		BoardTraces: boardRecs,
+	}
+	if _, err := core.FleetRun(c.P.Cfg, members, opt); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "fleet-tree-2x2.fleet", buf.Bytes())
+	for i, br := range boardRecs {
+		var bb bytes.Buffer
+		if err := br.WriteJSONL(&bb); err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, fmt.Sprintf("fleet-tree-2x2-board%d", i), bb.Bytes())
+	}
+}

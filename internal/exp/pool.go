@@ -42,6 +42,12 @@ type Options struct {
 	// budget used by FleetSweep; 0 means DefaultFleetBoardBudgetW.
 	FleetBudgetW float64
 
+	// FleetTopo, when non-empty, runs every fleet sweep cell hierarchically
+	// under this coordinator topology (fleet.ParseTopology grammar, e.g.
+	// "4x8" or "root=a,b;a=4;b=4"). The topology's board count must equal
+	// the sweep's fleet size. Empty keeps the flat single-coordinator path.
+	FleetTopo string
+
 	// Engine selects the simulation core for every run the harness launches
 	// ("" = the event engine). Results and traces are byte-identical across
 	// engines; the lockstep engine exists for differential testing and

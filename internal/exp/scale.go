@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"os"
 	"runtime"
 	"time"
 
@@ -44,6 +46,11 @@ const (
 	// spike lands on both engines instead of biasing one cell. Simulation
 	// outputs are identical across reps by construction.
 	scaleReps = 5
+	// treeScaleReps is the minimum-of-k width for the hierarchical points:
+	// the depth axis multiplies the cell count, and the tree points feed a
+	// curve rather than an engine-vs-engine gate, so fewer repetitions
+	// suffice.
+	treeScaleReps = 3
 )
 
 // scaleApp builds one synthetic steady-phase board workload.
@@ -97,6 +104,33 @@ type FleetScalePoint struct {
 	QuiescentFrac float64 `json:"quiescent_frac"`
 }
 
+// FleetTreeScalePoint is one hierarchical measurement of the same done-heavy
+// scale scenario: the fleet run under a balanced coordinator tree
+// (fleet.Uniform) of the given depth, on the event engine. Depth 1 is the
+// degenerate single-coordinator tree and must reproduce the flat event
+// point's simulated outcome exactly; deeper trees re-divide the budget
+// recursively, so their EDP may differ — that delta is the hierarchy's cost
+// or gain, and the wall-clock column its overhead.
+type FleetTreeScalePoint struct {
+	Boards int `json:"boards"`
+	// Depth is the coordinator tree's level count; Topo its spec and Nodes
+	// its coordinator count.
+	Depth int    `json:"depth"`
+	Topo  string `json:"topo"`
+	Nodes int    `json:"nodes"`
+	// WallMS is the fastest host wall-clock over treeScaleReps runs.
+	WallMS float64 `json:"wall_ms"`
+	// Steps and Reallocations mirror the flat points; NodeReallocations
+	// counts per-node policy invocations across the whole tree.
+	Steps             int `json:"steps"`
+	Reallocations     int `json:"reallocations"`
+	NodeReallocations int `json:"node_reallocations"`
+	// MakespanS, EnergyJ and EDP summarize the simulated outcome.
+	MakespanS float64 `json:"makespan_s"`
+	EnergyJ   float64 `json:"energy_j"`
+	EDP       float64 `json:"edp_js"`
+}
+
 // FleetScaleReport is the scaling-curve benchmark result across engines and
 // fleet sizes, with enough host context to interpret the wall-clocks.
 type FleetScaleReport struct {
@@ -110,6 +144,9 @@ type FleetScaleReport struct {
 	// Points holds, for every fleet size, the lockstep point followed by
 	// the event point.
 	Points []FleetScalePoint `json:"points"`
+	// TreePoints holds the hierarchical points (FleetScaleTree), ordered by
+	// fleet size then depth; empty for engine-only reports.
+	TreePoints []FleetTreeScalePoint `json:"tree_points,omitempty"`
 }
 
 // scaleParallelism resolves the pool width of one scale run.
@@ -248,6 +285,183 @@ func (c *Context) FleetScale(ns []int) (*FleetScaleReport, error) {
 	return rep, nil
 }
 
+// fleetTreeScaleRun executes the done-heavy scale scenario once under the
+// given coordinator topology on the event engine, with one fresh feedback
+// policy per tree node.
+func (c *Context) fleetTreeScaleRun(topo *fleet.Topology) (*core.FleetResult, error) {
+	members, err := c.scaleMembers(topo.Boards)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.FleetOptions{
+		Budget: fleet.Budget{
+			TotalW: DefaultFleetBoardBudgetW * float64(topo.Boards),
+			MinW:   DefaultFleetMinCapW,
+			MaxW:   DefaultFleetMaxCapW,
+		},
+		Topology:    topo,
+		TreePolicy:  treePolicyFactory("feedback"),
+		MaxTime:     scaleMaxTime,
+		Parallelism: c.scaleParallelism(),
+		Engine:      core.EngineEvent,
+	}
+	return core.FleetRun(c.P.Cfg, members, opt)
+}
+
+// fleetTreeScalePoint times the scenario under one topology, keeping the
+// fastest of treeScaleReps wall-clocks.
+func (c *Context) fleetTreeScalePoint(topo *fleet.Topology) (FleetTreeScalePoint, error) {
+	var best *core.FleetResult
+	var bestWall time.Duration
+	for rep := 0; rep < treeScaleReps; rep++ {
+		start := time.Now()
+		res, err := c.fleetTreeScaleRun(topo)
+		wall := time.Since(start)
+		if err != nil {
+			return FleetTreeScalePoint{}, fmt.Errorf("exp: tree scale %q: %w", topo.Spec, err)
+		}
+		if best == nil || wall < bestWall {
+			best, bestWall = res, wall
+		}
+	}
+	return FleetTreeScalePoint{
+		Boards:            topo.Boards,
+		Depth:             topo.Depth,
+		Topo:              topo.Spec,
+		Nodes:             len(topo.Nodes),
+		WallMS:            float64(bestWall.Nanoseconds()) / 1e6,
+		Steps:             best.Steps,
+		Reallocations:     best.Reallocations,
+		NodeReallocations: best.NodeReallocations,
+		MakespanS:         best.MakespanS,
+		EnergyJ:           best.EnergyJ,
+		EDP:               best.EDP,
+	}, nil
+}
+
+// FleetScaleTree extends the scaling benchmark with the hierarchy axis: after
+// the flat engine curve it measures the same scenario under a balanced
+// coordinator tree (fleet.Uniform) at every (fleet size, depth) pair. Depth-1
+// points are cross-checked against the flat event points — the degenerate
+// tree must reproduce the flat run's simulated outcome exactly; deeper
+// points record the hierarchy's EDP delta and wall-clock overhead. Empty
+// arguments select the FleetScale default sizes and depths {1, 2}.
+func (c *Context) FleetScaleTree(ns, depths []int) (*FleetScaleReport, error) {
+	if len(ns) == 0 {
+		ns = []int{16, 64, 256}
+	}
+	if len(depths) == 0 {
+		depths = []int{1, 2}
+	}
+	rep, err := c.FleetScale(ns)
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range ns {
+		flat := rep.Points[2*ni+1] // the event point at this size
+		for _, d := range depths {
+			topo, err := fleet.Uniform(n, d)
+			if err != nil {
+				return nil, err
+			}
+			pt, err := c.fleetTreeScalePoint(topo)
+			if err != nil {
+				return nil, err
+			}
+			if d == 1 && (pt.Steps != flat.Steps || pt.EDP != flat.EDP ||
+				pt.EnergyJ != flat.EnergyJ || pt.Reallocations != flat.Reallocations) {
+				return nil, fmt.Errorf(
+					"exp: depth-1 tree diverges from flat event run at N=%d: %+v vs %+v", n, pt, flat)
+			}
+			rep.TreePoints = append(rep.TreePoints, pt)
+		}
+	}
+	return rep, nil
+}
+
+// TreeGuard is the hierarchical regression gate: it re-runs the done-heavy
+// scale scenario under the given topology spec and checks the outcome
+// against the committed report's matching tree point. The simulation is
+// deterministic, so steps and reallocation counts must match exactly and the
+// EDP to 1e-9 relative (JSON round-trip slack); the wall-clock may drift
+// with the host but not past 5× the committed value.
+func (c *Context) TreeGuard(spec string, committed *FleetScaleReport) error {
+	topo, err := fleet.ParseTopology(spec)
+	if err != nil {
+		return err
+	}
+	want := committed.findTreePoint(topo)
+	if want == nil {
+		return fmt.Errorf("exp: committed report has no tree point for %d boards at depth %d",
+			topo.Boards, topo.Depth)
+	}
+	start := time.Now()
+	res, err := c.fleetTreeScaleRun(topo)
+	if err != nil {
+		return err
+	}
+	wallMS := float64(time.Since(start).Nanoseconds()) / 1e6
+	if res.Steps != want.Steps || res.Reallocations != want.Reallocations ||
+		res.NodeReallocations != want.NodeReallocations {
+		return fmt.Errorf("exp: tree run %q counters diverge from committed point: steps %d/%d reallocs %d/%d node reallocs %d/%d",
+			spec, res.Steps, want.Steps, res.Reallocations, want.Reallocations,
+			res.NodeReallocations, want.NodeReallocations)
+	}
+	if relDiff(res.EDP, want.EDP) > 1e-9 {
+		return fmt.Errorf("exp: tree run %q EDP %.9g diverges from committed %.9g", spec, res.EDP, want.EDP)
+	}
+	if want.WallMS > 0 && wallMS > 5*want.WallMS {
+		return fmt.Errorf("exp: tree run %q took %.1f ms, over 5x the committed %.1f ms",
+			spec, wallMS, want.WallMS)
+	}
+	return nil
+}
+
+// findTreePoint locates the committed point a guard run compares against:
+// an exact topology-spec match wins, else the first point with the same
+// board count and depth (fleet.Uniform and the AxB shorthand generate
+// identical balanced shapes under different spec strings).
+func (r *FleetScaleReport) findTreePoint(topo *fleet.Topology) *FleetTreeScalePoint {
+	for i := range r.TreePoints {
+		if r.TreePoints[i].Topo == topo.Spec {
+			return &r.TreePoints[i]
+		}
+	}
+	for i := range r.TreePoints {
+		if r.TreePoints[i].Boards == topo.Boards && r.TreePoints[i].Depth == topo.Depth {
+			return &r.TreePoints[i]
+		}
+	}
+	return nil
+}
+
+// relDiff is the symmetric relative difference, 0 when both values are 0.
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+// ReadFleetScaleReport loads a committed scaling report (BENCH_evloop.json)
+// for guard comparisons.
+func ReadFleetScaleReport(path string) (*FleetScaleReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r FleetScaleReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("exp: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
 // Check enforces the scaling gate on the report's largest fleet size: the
 // scenario must be meaningfully done-heavy (≥25% quiescent board-intervals)
 // and the event engine must be strictly faster than lockstep there. Smaller
@@ -306,6 +520,44 @@ func (r *FleetScaleReport) Render() string {
 	var sb stringsBuilder
 	fmt.Fprintf(&sb, "Fleet scaling curve (%s/%s, %d CPUs, parallelism %d, %s scheme, %s policy, %.0f s simulated)\n",
 		r.GOOS, r.GOARCH, r.NumCPU, r.Parallelism, r.Scheme, r.Policy, r.MaxTimeS)
+	tab.Render(&sb)
+	if len(r.TreePoints) > 0 {
+		sb.WriteString("\n")
+		sb.WriteString(r.renderTreePoints())
+	}
+	return sb.String()
+}
+
+// renderTreePoints draws the hierarchical points as a second table, with each
+// point's EDP and wall-clock relative to the flat event point at the same
+// fleet size (when the report contains one).
+func (r *FleetScaleReport) renderTreePoints() string {
+	flatWall := map[int]float64{}
+	flatEDP := map[int]float64{}
+	for _, p := range r.Points {
+		if p.Engine == string(core.EngineEvent) {
+			flatWall[p.Boards] = p.WallMS
+			flatEDP[p.Boards] = p.EDP
+		}
+	}
+	tab := &series.Table{Header: []string{
+		"boards", "depth", "topology", "nodes", "wall ms", "vs flat", "node reallocs", "EDP J·s", "EDP vs flat"}}
+	for _, p := range r.TreePoints {
+		wallRel, edpRel := "-", "-"
+		if w := flatWall[p.Boards]; w > 0 && p.WallMS > 0 {
+			wallRel = fmt.Sprintf("%.2fx", p.WallMS/w)
+		}
+		if e := flatEDP[p.Boards]; e > 0 {
+			edpRel = fmt.Sprintf("%+.3f%%", 100*(p.EDP-e)/e)
+		}
+		tab.AddRow(fmt.Sprintf("%d", p.Boards), fmt.Sprintf("%d", p.Depth),
+			p.Topo, fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%.1f", p.WallMS), wallRel,
+			fmt.Sprintf("%d", p.NodeReallocations),
+			fmt.Sprintf("%.0f", p.EDP), edpRel)
+	}
+	var sb stringsBuilder
+	sb.WriteString("Hierarchical coordinator points (event engine, balanced trees, feedback policy per node)\n")
 	tab.Render(&sb)
 	return sb.String()
 }

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFleetScaleTree runs the hierarchical scaling benchmark at one small
+// size and pins its contract: the depth-1 point reproduces the flat event
+// point exactly (enforced internally, re-checked here), deeper points carry
+// the tree metadata, the report round-trips through JSON, and TreeGuard
+// accepts the fresh report while rejecting tampered or uncovered points.
+func TestFleetScaleTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated fleet runs; skipped in -short")
+	}
+	c := testContext(t)
+	rep, err := c.FleetScaleTree([]int{9}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 || len(rep.TreePoints) != 2 {
+		t.Fatalf("report has %d flat / %d tree points, want 2/2", len(rep.Points), len(rep.TreePoints))
+	}
+	flat, d1, d2 := rep.Points[1], rep.TreePoints[0], rep.TreePoints[1]
+	if d1.Depth != 1 || d1.Nodes != 1 || d1.EDP != flat.EDP || d1.Steps != flat.Steps {
+		t.Fatalf("depth-1 point diverges from flat event point: %+v vs %+v", d1, flat)
+	}
+	if d2.Depth != 2 || d2.Nodes <= 1 || d2.Boards != 9 {
+		t.Fatalf("depth-2 point malformed: %+v", d2)
+	}
+	if d2.NodeReallocations <= d2.Reallocations {
+		t.Fatalf("depth-2 node reallocations %d should exceed realloc instants %d",
+			d2.NodeReallocations, d2.Reallocations)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "Hierarchical coordinator points") || !strings.Contains(out, d2.Topo) {
+		t.Fatalf("render missing tree table:\n%s", out)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := ReadFleetScaleReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(committed.TreePoints) != 2 || committed.TreePoints[1] != d2 {
+		t.Fatalf("JSON round-trip lost tree points: %+v", committed.TreePoints)
+	}
+
+	// Uniform(9, 2) is the balanced 3×3 tree, so the shorthand spec must
+	// resolve to the same committed point via the boards+depth fallback.
+	if err := c.TreeGuard("3x3", committed); err != nil {
+		t.Fatalf("guard rejected a byte-identical re-run: %v", err)
+	}
+	tampered := *committed
+	tampered.TreePoints = append([]FleetTreeScalePoint(nil), committed.TreePoints...)
+	tampered.TreePoints[1].EDP *= 1.001
+	if err := c.TreeGuard("3x3", &tampered); err == nil {
+		t.Fatal("guard accepted a tampered EDP")
+	}
+	if err := c.TreeGuard("2x2", committed); err == nil {
+		t.Fatal("guard accepted a topology with no committed point")
+	}
+}

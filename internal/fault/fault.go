@@ -229,6 +229,28 @@ func RunKey(scheme, app string, boardIndex ...int) string {
 	return key
 }
 
+// RunKeyPath builds the run key for a board inside a hierarchical fleet:
+// nodePath is the board's leaf coordinator path in the topology tree and
+// boardIndex its leaf-local index. An empty path encodes identically to
+// RunKey(scheme, app, boardIndex), so a one-level tree's boards draw
+// byte-identical fault streams to the flat fleet (and board 0 keeps its
+// common-random-numbers pairing with the solo run). A non-empty path is
+// appended as a NUL-separated "@"-prefixed segment: topology node paths
+// never contain NUL ("/"-joined IDs from a NUL-free charset) and never
+// start with "@", while flat keys' trailing segments are pure decimal board
+// indices — so tree keys can alias neither a flat key nor a tree key from
+// a different (path, index) pair.
+func RunKeyPath(scheme, app, nodePath string, boardIndex int) string {
+	if nodePath == "" {
+		return RunKey(scheme, app, boardIndex)
+	}
+	key := scheme + "\x00" + app + "\x00@" + nodePath
+	if boardIndex != 0 {
+		key += "\x00" + strconv.Itoa(boardIndex)
+	}
+	return key
+}
+
 // ClassNames lists the isolated fault-class presets PresetClass accepts, in
 // the order the per-class tables report them, plus the combined "all".
 func ClassNames() []string {

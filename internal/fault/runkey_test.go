@@ -77,6 +77,88 @@ func TestRunKeyCrossProductCollisionFree(t *testing.T) {
 	}
 }
 
+// TestRunKeyPathCrossProductCollisionFree mirrors the flat cross-product
+// test one tree level up: across schemes × apps × tree node paths ×
+// leaf-local board indices — including paths that are themselves decimal
+// strings, the shape generated topologies produce — every run key and every
+// derived per-class seed must be unique, and none may alias a flat fleet
+// key. The flat keys for the same (scheme, app) are folded into the same
+// uniqueness set so a rack-local board can never share a stream with a
+// flat-indexed board.
+func TestRunKeyPathCrossProductCollisionFree(t *testing.T) {
+	classes := ClassNames()
+	// Decimal paths ("5", "0/1") are the generated-topology shape and the
+	// likeliest to alias flat integer suffixes; named paths cover explicit
+	// specs.
+	paths := []string{"", "0", "5", "31", "0/0", "0/1", "5/3", "a", "b/row-1"}
+	keys := make(map[string]string)
+	seeds := make(map[int64][]string)
+	const seed = 42
+	for _, sch := range runKeySchemes {
+		for _, app := range runKeyApps {
+			for _, path := range paths {
+				for idx := 0; idx < 8; idx++ {
+					id := fmt.Sprintf("%s/%s/node%q/board%d", sch, app, path, idx)
+					key := RunKeyPath(sch, app, path, idx)
+					if prev, ok := keys[key]; ok {
+						// The empty path is defined to alias the flat key at
+						// the same index — that pairing is the contract, not
+						// a collision, and is pinned separately below.
+						t.Fatalf("RunKeyPath collision: %s and %s both map to %q", prev, id, key)
+					}
+					keys[key] = id
+					for _, class := range classes {
+						s := derive(seed, key, class)
+						seeds[s] = append(seeds[s], id+"/"+class)
+					}
+				}
+			}
+			// Fold in the flat fleet keys for indices beyond the path set, to
+			// catch a tree key aliasing a flat board's stream (e.g. path "5"
+			// local 0 vs flat board 5).
+			for idx := 1; idx < 64; idx++ {
+				id := fmt.Sprintf("%s/%s/flat-board%d", sch, app, idx)
+				key := RunKey(sch, app, idx)
+				if prev, ok := keys[key]; ok && prev != id {
+					if idx < 8 {
+						continue // flat key == empty-path key at same index, by design
+					}
+					t.Fatalf("flat key aliased: %s and %s both map to %q", prev, id, key)
+				}
+				if _, ok := keys[key]; !ok {
+					keys[key] = id
+					for _, class := range classes {
+						s := derive(seed, key, class)
+						seeds[s] = append(seeds[s], id+"/"+class)
+					}
+				}
+			}
+		}
+	}
+	for s, ids := range seeds {
+		if len(ids) > 1 {
+			t.Fatalf("derived seed %d shared by %v", s, ids)
+		}
+	}
+}
+
+// TestRunKeyPathFlatCompat pins the degenerate-tree contract: an empty node
+// path encodes identically to the flat RunKey at every board index, so a
+// one-level tree reproduces the flat fleet's fault streams byte-for-byte.
+func TestRunKeyPathFlatCompat(t *testing.T) {
+	for idx := 0; idx < 16; idx++ {
+		if got, want := RunKeyPath("s", "a", "", idx), RunKey("s", "a", idx); got != want {
+			t.Fatalf("RunKeyPath(s, a, \"\", %d) = %q, want %q", idx, got, want)
+		}
+	}
+	if got, want := RunKeyPath("s", "a", "5", 0), "s\x00a\x00@5"; got != want {
+		t.Fatalf("tree key encoding changed: %q, want %q", got, want)
+	}
+	if RunKeyPath("s", "a", "5", 0) == RunKey("s", "a", 5) {
+		t.Fatal("rack path \"5\" local 0 aliases flat board 5")
+	}
+}
+
 // TestRunKeyBoardZeroCompat pins the common-random-numbers contract: board
 // index 0 (and an omitted index) encode to the historical two-argument key,
 // so fleet board 0 pairs with the solo run of the same (scheme, app), while

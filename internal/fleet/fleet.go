@@ -41,6 +41,23 @@ type Telemetry struct {
 	// Done reports that the board's workload has finished; a done board
 	// draws only idle power and is a pure donor.
 	Done bool
+
+	// Weight is the allocation weight of this entry: the number of live
+	// boards it stands for. Per-board telemetry leaves it zero (treated as
+	// 1). The tree runner sets it when an entry is a child coordinator
+	// aggregating a whole subtree, so floors, ceilings and shares scale
+	// with subtree size: a live entry's cap must land in
+	// [Weight·MinW, Weight·MaxW].
+	Weight float64
+}
+
+// weightOf returns a telemetry entry's allocation weight, defaulting to 1
+// for plain per-board entries (Weight unset).
+func weightOf(t Telemetry) float64 {
+	if t.Weight <= 0 {
+		return 1
+	}
+	return t.Weight
 }
 
 // Budget is the shared fleet power budget and the per-board bounds every
@@ -72,7 +89,10 @@ type Policy interface {
 	// Allocate writes the per-board power caps for the next reallocation
 	// period into dst (len(dst) == len(tel); dst[i] is board i's cap in
 	// watts). Implementations must guarantee Σ dst ≤ b.TotalW, dst[i] ≥
-	// b.MinW for live boards, and dst[i] ≤ b.MaxW.
+	// wᵢ·b.MinW for live boards, and dst[i] ≤ wᵢ·b.MaxW, where wᵢ is the
+	// entry's Telemetry.Weight (1 when unset). Plain per-board fleets have
+	// all weights 1; the tree runner reuses the same contract one level up
+	// by presenting each child subtree as a weighted pseudo-board.
 	Allocate(dst []float64, b Budget, tel []Telemetry)
 }
 
@@ -90,39 +110,49 @@ func NewPolicy(name string) (Policy, error) {
 	}
 }
 
-// clampShare bounds one live board's cap to [MinW, MaxW].
-func clampShare(w float64, b Budget) float64 {
-	if w < b.MinW {
-		w = b.MinW
+// clampShareW bounds one live entry's cap to its weighted band
+// [w·MinW, w·MaxW]. At weight 1 the bounds multiply out exactly (1.0·x == x
+// in IEEE 754), so weighted policies stay bit-identical to the historical
+// flat arithmetic — the property the golden-trace suite pins.
+func clampShareW(v, w float64, b Budget) float64 {
+	lo := w * b.MinW
+	hi := w * b.MaxW
+	if v < lo {
+		v = lo
 	}
-	if w > b.MaxW {
-		w = b.MaxW
+	if v > hi {
+		v = hi
 	}
-	return w
+	return v
 }
 
 // conserve rescales the above-floor part of every live allocation so that
 // the total fits the budget, preserving relative priorities. It is the final
 // pass of every policy: whatever heuristic produced dst, conservation is
-// enforced here by construction. Done boards keep their zero caps.
+// enforced here by construction. Done boards keep their zero caps. Floors
+// and ceilings are per-entry weighted; with all weights 1 (plain per-board
+// fleets) every expression reduces bit-identically to the flat form —
+// summing unit weights counts in exact float64 increments, so liveW equals
+// float64(live).
 func conserve(dst []float64, b Budget, tel []Telemetry) {
 	total := 0.0
-	live := 0
+	liveW := 0.0
 	for i := range dst {
 		if tel[i].Done {
 			dst[i] = 0
 			continue
 		}
-		dst[i] = clampShare(dst[i], b)
+		dst[i] = clampShareW(dst[i], weightOf(tel[i]), b)
 		total += dst[i]
-		live++
+		liveW += weightOf(tel[i])
 	}
-	if live == 0 || total <= b.TotalW {
+	if liveW == 0 || total <= b.TotalW {
 		return
 	}
-	// Shrink only the part above the per-board floor; the floors themselves
-	// are assumed feasible (TotalW ≥ live*MinW — the runner validates this).
-	floor := float64(live) * b.MinW
+	// Shrink only the part above the per-entry floor; the floors themselves
+	// are assumed feasible (TotalW ≥ liveW*MinW — the runner validates this
+	// at the root, and the policy contract preserves it down the tree).
+	floor := liveW * b.MinW
 	excess := total - floor
 	avail := b.TotalW - floor
 	if excess <= 0 || avail < 0 {
@@ -133,7 +163,8 @@ func conserve(dst []float64, b Budget, tel []Telemetry) {
 		if tel[i].Done {
 			continue
 		}
-		dst[i] = b.MinW + (dst[i]-b.MinW)*scale
+		lo := weightOf(tel[i]) * b.MinW
+		dst[i] = lo + (dst[i]-lo)*scale
 	}
 }
 
@@ -148,21 +179,21 @@ func (EqualShare) Name() string { return "equal-share" }
 
 // Allocate implements Policy.
 func (EqualShare) Allocate(dst []float64, b Budget, tel []Telemetry) {
-	live := 0
+	liveW := 0.0
 	for i := range tel {
 		if !tel[i].Done {
-			live++
+			liveW += weightOf(tel[i])
 		}
 	}
 	share := b.MaxW
-	if live > 0 {
-		share = b.TotalW / float64(live)
+	if liveW > 0 {
+		share = b.TotalW / liveW
 	}
 	for i := range dst {
 		if tel[i].Done {
 			dst[i] = 0
 		} else {
-			dst[i] = share
+			dst[i] = weightOf(tel[i]) * share
 		}
 	}
 	conserve(dst, b, tel)
@@ -244,28 +275,32 @@ func (p *SlackFeedback) Allocate(dst []float64, b Budget, tel []Telemetry) {
 	}
 
 	// Donors keep their observed draw plus a reserve; pressed boards start
-	// at the floor. What remains of the budget is the contested pot.
+	// at the floor. What remains of the budget is the contested pot. All
+	// reserves, floors and ceilings scale with the entry's weight so a
+	// child coordinator standing for w boards is treated as w boards; at
+	// weight 1 every expression is bit-identical to the flat form.
 	pot := b.TotalW
 	nPressed := 0
 	for i := range tel {
 		t := tel[i]
+		w := weightOf(t)
 		switch {
 		case t.Done:
 			dst[i] = 0
 		case pressed(t):
-			dst[i] = b.MinW
+			dst[i] = w * b.MinW
 			nPressed++
-			pot -= b.MinW
+			pot -= dst[i]
 		default:
-			dst[i] = clampShare(t.PowerW*donorMargin+donorReserveW, b)
+			dst[i] = clampShareW(t.PowerW*donorMargin+w*donorReserveW, w, b)
 			pot -= dst[i]
 		}
 	}
 
 	if nPressed > 0 && pot > 0 {
 		// Divide the pot among pressed boards in proportion to performance
-		// slack. Watts that would push a board past MaxW spill over to the
-		// remaining pressed boards.
+		// slack. Watts that would push a board past its (weighted) MaxW
+		// spill over to the remaining pressed boards.
 		totalSlack := 0.0
 		slack := make([]float64, n)
 		for i := range tel {
@@ -273,8 +308,8 @@ func (p *SlackFeedback) Allocate(dst []float64, b Budget, tel []Telemetry) {
 				continue
 			}
 			s := p.peakBIPS[i] - tel[i].BIPS
-			if s < slackFloorBIPS {
-				s = slackFloorBIPS
+			if lo := weightOf(tel[i]) * slackFloorBIPS; s < lo {
+				s = lo
 			}
 			slack[i] = s
 			totalSlack += s
@@ -287,10 +322,11 @@ func (p *SlackFeedback) Allocate(dst []float64, b Budget, tel []Telemetry) {
 				if slack[i] == 0 {
 					continue
 				}
+				hi := weightOf(tel[i]) * b.MaxW
 				want := dst[i] + share*slack[i]/totalSlack
-				if want >= b.MaxW {
-					pot += want - b.MaxW
-					dst[i] = b.MaxW
+				if want >= hi {
+					pot += want - hi
+					dst[i] = hi
 					slack[i] = 0
 					continue
 				}
@@ -300,18 +336,20 @@ func (p *SlackFeedback) Allocate(dst []float64, b Budget, tel []Telemetry) {
 			totalSlack = remSlack
 		}
 	} else if nPressed == 0 && pot > 0 {
-		// Nothing is pressed: spread the idle watts evenly so caps drift
-		// back up after a transient instead of ratcheting down.
-		live := 0
+		// Nothing is pressed: spread the idle watts evenly (per unit of
+		// weight) so caps drift back up after a transient instead of
+		// ratcheting down.
+		liveW := 0.0
 		for i := range tel {
 			if !tel[i].Done {
-				live++
+				liveW += weightOf(tel[i])
 			}
 		}
-		if live > 0 {
+		if liveW > 0 {
 			for i := range tel {
 				if !tel[i].Done {
-					dst[i] = clampShare(dst[i]+pot/float64(live), b)
+					w := weightOf(tel[i])
+					dst[i] = clampShareW(dst[i]+pot*w/liveW, w, b)
 				}
 			}
 		}

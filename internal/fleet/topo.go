@@ -1,0 +1,368 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// MaxTopologyBoards bounds the total board count a topology may declare —
+// the budget-overflow guard for the parser (a fleet budget is boards ×
+// per-board watts; past 2^20 boards the arithmetic and the simulation are
+// out of this system's scope).
+const MaxTopologyBoards = 1 << 20
+
+// MaxTopologyDepth bounds the number of coordinator levels. Real
+// datacenters are boards → racks → rows → DC (depth 3–4); 8 leaves
+// generous headroom without admitting degenerate chain topologies.
+const MaxTopologyDepth = 8
+
+// RootID is the node ID given to the root coordinator of generated
+// (shorthand or Uniform) topologies. The root's Path is always "" no matter
+// its ID, so renaming the root never changes trace or fault streams.
+const RootID = "dc"
+
+// TopoNode is one coordinator in a topology, either an internal node that
+// re-divides its budget over child coordinators or a leaf coordinator that
+// divides its budget directly over a contiguous range of boards.
+type TopoNode struct {
+	// ID is the node's name: parsed from an explicit spec, or the node's
+	// index path (RootID for the root) in generated topologies.
+	ID string
+
+	// Path identifies the node within the tree as the "/"-joined IDs from
+	// the root's child down to the node; the root's Path is "". It keys
+	// per-node trace records and extends per-board fault RunKeys, and is
+	// root-exclusive so a one-level tree's single node has Path "" — the
+	// degenerate tree stays byte-identical to the flat fleet.
+	Path string
+
+	// Parent is the index of the parent node in Topology.Nodes (-1 for the
+	// root).
+	Parent int
+
+	// Children holds the indices of the node's child coordinators in
+	// Topology.Nodes (empty for a leaf).
+	Children []int
+
+	// First is the start of the node's contiguous global board range
+	// [First, First+Boards).
+	First int
+
+	// Boards counts the boards under the node: the boards a leaf governs
+	// directly, or the union of an internal node's subtree.
+	Boards int
+
+	// Height is the node's distance from its furthest leaf coordinator
+	// plus one: a leaf coordinator has Height 1. Reallocation cadence
+	// slows with height (see Tree).
+	Height int
+}
+
+// Topology is a validated coordinator tree shape: nodes in preorder (the
+// root first, every parent before its children), with contiguous board
+// ranges. Build one with ParseTopology or Uniform.
+type Topology struct {
+	// Spec is the canonical spec string the topology was built from.
+	Spec string
+	// Nodes holds the coordinators in preorder; Nodes[0] is the root.
+	Nodes []TopoNode
+	// Boards is the total board count across all leaves.
+	Boards int
+	// Depth is the number of coordinator levels (the root's Height);
+	// 1 means flat — a single coordinator over all boards.
+	Depth int
+}
+
+// Leaf reports whether node i is a leaf coordinator.
+func (t *Topology) Leaf(i int) bool { return len(t.Nodes[i].Children) == 0 }
+
+// ParseTopology parses a fleet topology spec. Two grammars are accepted:
+//
+// Shorthand — "×"-separated fan-outs written with 'x', e.g. "32x32" (one
+// root over 32 rack coordinators of 32 boards each, depth 2) or "4x8x2"
+// (depth 3). A single factor, e.g. "64", is the flat one-level tree. Node
+// IDs are generated as index paths under a root named RootID.
+//
+// Explicit — ';'-separated "id=value" entries, e.g. "root=a,b;a=4;b=8".
+// The first entry is the root; a value that is a comma-separated ID list
+// makes an internal node, a positive integer makes a leaf coordinator with
+// that many boards. IDs must start with a letter (so counts and IDs cannot
+// be confused) and may contain letters, digits, '_', '.' and '-'.
+//
+// Every structural defect is rejected with a distinct error: empty specs,
+// malformed factors or IDs, zero or negative board counts, duplicate node
+// definitions, references to undefined nodes, nodes claimed by two parents,
+// cycles, zero-fanout internal nodes, unreachable nodes, depth beyond
+// MaxTopologyDepth, and board totals beyond MaxTopologyBoards.
+func ParseTopology(spec string) (*Topology, error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return nil, fmt.Errorf("fleet: empty topology spec")
+	}
+	if strings.Contains(s, "=") {
+		return parseExplicit(s)
+	}
+	return parseShorthand(s)
+}
+
+// parseShorthand builds the uniform tree "f1xf2x...xfd".
+func parseShorthand(s string) (*Topology, error) {
+	parts := strings.Split(s, "x")
+	factors := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: topology %q: factor %q is not an integer", s, p)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("fleet: topology %q: factor %d must be positive", s, n)
+		}
+		factors[i] = n
+	}
+	if len(factors) > MaxTopologyDepth {
+		return nil, fmt.Errorf("fleet: topology %q: depth %d exceeds max %d", s, len(factors), MaxTopologyDepth)
+	}
+	boards := 1
+	for _, f := range factors {
+		if f > MaxTopologyBoards/boards {
+			return nil, fmt.Errorf("fleet: topology %q: total boards exceed max %d", s, MaxTopologyBoards)
+		}
+		boards *= f
+	}
+	t := &Topology{Spec: s}
+	buildUniformNode(t, RootID, "", -1, factors)
+	finishTopology(t)
+	return t, nil
+}
+
+// buildUniformNode appends the subtree for the given remaining fan-out
+// factors and returns its node index. factors[0] is this node's fan-out
+// (or, when it is the last factor, its direct board count).
+func buildUniformNode(t *Topology, id, path string, parent int, factors []int) int {
+	idx := len(t.Nodes)
+	t.Nodes = append(t.Nodes, TopoNode{ID: id, Path: path, Parent: parent, First: t.Boards})
+	if len(factors) == 1 {
+		t.Nodes[idx].Boards = factors[0]
+		t.Boards += factors[0]
+		return idx
+	}
+	for c := 0; c < factors[0]; c++ {
+		cid := strconv.Itoa(c)
+		cpath := cid
+		if path != "" {
+			cpath = path + "/" + cid
+		}
+		ci := buildUniformNode(t, cid, cpath, idx, factors[1:])
+		t.Nodes[idx].Children = append(t.Nodes[idx].Children, ci)
+	}
+	return idx
+}
+
+// parseExplicit builds a tree from "root=a,b;a=4;b=8"-style entries.
+func parseExplicit(s string) (*Topology, error) {
+	type entry struct {
+		children []string // nil for a leaf
+		boards   int
+	}
+	defs := make(map[string]entry)
+	order := []string{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fleet: topology entry %q: want id=value", part)
+		}
+		id = strings.TrimSpace(id)
+		if err := checkNodeID(id); err != nil {
+			return nil, err
+		}
+		if _, dup := defs[id]; dup {
+			return nil, fmt.Errorf("fleet: topology node %q defined twice", id)
+		}
+		val = strings.TrimSpace(val)
+		if val == "" {
+			return nil, fmt.Errorf("fleet: topology node %q has zero fan-out (empty value)", id)
+		}
+		if n, err := strconv.Atoi(val); err == nil {
+			if n <= 0 {
+				return nil, fmt.Errorf("fleet: topology node %q: board count %d must be positive", id, n)
+			}
+			defs[id] = entry{boards: n}
+		} else {
+			var kids []string
+			for _, c := range strings.Split(val, ",") {
+				c = strings.TrimSpace(c)
+				if err := checkNodeID(c); err != nil {
+					return nil, fmt.Errorf("fleet: topology node %q: %w", id, err)
+				}
+				kids = append(kids, c)
+			}
+			defs[id] = entry{children: kids}
+		}
+		order = append(order, id)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("fleet: empty topology spec")
+	}
+
+	t := &Topology{Spec: s}
+	visited := make(map[string]int, len(defs)) // id -> node index
+	onStack := make(map[string]bool, len(defs))
+	var build func(id, path string, parent, depth int) (int, error)
+	build = func(id, path string, parent, depth int) (int, error) {
+		if depth > MaxTopologyDepth {
+			return 0, fmt.Errorf("fleet: topology %q: depth exceeds max %d", s, MaxTopologyDepth)
+		}
+		if onStack[id] {
+			return 0, fmt.Errorf("fleet: topology node %q is part of a cycle", id)
+		}
+		if _, seen := visited[id]; seen {
+			return 0, fmt.Errorf("fleet: topology node %q referenced by two parents", id)
+		}
+		def, ok := defs[id]
+		if !ok {
+			return 0, fmt.Errorf("fleet: topology references undefined node %q", id)
+		}
+		idx := len(t.Nodes)
+		visited[id] = idx
+		onStack[id] = true
+		t.Nodes = append(t.Nodes, TopoNode{ID: id, Path: path, Parent: parent, First: t.Boards})
+		if def.children == nil {
+			if t.Boards+def.boards > MaxTopologyBoards {
+				return 0, fmt.Errorf("fleet: topology %q: total boards exceed max %d", s, MaxTopologyBoards)
+			}
+			t.Nodes[idx].Boards = def.boards
+			t.Boards += def.boards
+		} else {
+			for _, cid := range def.children {
+				cpath := cid
+				if path != "" {
+					cpath = path + "/" + cid
+				}
+				ci, err := build(cid, cpath, idx, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				t.Nodes[idx].Children = append(t.Nodes[idx].Children, ci)
+			}
+		}
+		onStack[id] = false
+		return idx, nil
+	}
+	if _, err := build(order[0], "", -1, 1); err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		if _, ok := visited[id]; !ok {
+			return nil, fmt.Errorf("fleet: topology node %q is unreachable from the root", id)
+		}
+	}
+	finishTopology(t)
+	return t, nil
+}
+
+// checkNodeID validates an explicit-spec node ID: it must start with a
+// letter (so IDs can never be confused with board counts) and contain only
+// letters, digits, '_', '.' and '-'.
+func checkNodeID(id string) error {
+	if id == "" {
+		return fmt.Errorf("fleet: empty topology node ID")
+	}
+	c := id[0]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+		return fmt.Errorf("fleet: topology node ID %q must start with a letter", id)
+	}
+	for i := 1; i < len(id); i++ {
+		c := id[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '_' || c == '.' || c == '-'
+		if !ok {
+			return fmt.Errorf("fleet: topology node ID %q contains invalid character %q", id, string(c))
+		}
+	}
+	return nil
+}
+
+// finishTopology computes subtree board counts, heights and the overall
+// depth once the preorder node list is in place.
+func finishTopology(t *Topology) {
+	// Preorder guarantees children follow parents, so a reverse sweep sees
+	// every child before its parent.
+	for i := len(t.Nodes) - 1; i >= 0; i-- {
+		n := &t.Nodes[i]
+		if len(n.Children) == 0 {
+			n.Height = 1
+			continue
+		}
+		n.Boards = 0
+		n.Height = 0
+		for _, ci := range n.Children {
+			c := &t.Nodes[ci]
+			n.Boards += c.Boards
+			if c.Height >= n.Height {
+				n.Height = c.Height + 1
+			}
+		}
+	}
+	t.Depth = t.Nodes[0].Height
+}
+
+// Uniform builds the near-balanced topology over the given board count at
+// the given coordinator depth: each level splits its boards over
+// round(n^(1/levels)) children as evenly as possible. Perfect powers give
+// exact grids — Uniform(1024, 2) is 32 racks × 32 boards, the same shape as
+// ParseTopology("32x32") — and Uniform(n, 1) is the flat one-level tree.
+func Uniform(boards, depth int) (*Topology, error) {
+	if boards <= 0 {
+		return nil, fmt.Errorf("fleet: uniform topology needs a positive board count, got %d", boards)
+	}
+	if boards > MaxTopologyBoards {
+		return nil, fmt.Errorf("fleet: uniform topology: %d boards exceed max %d", boards, MaxTopologyBoards)
+	}
+	if depth <= 0 || depth > MaxTopologyDepth {
+		return nil, fmt.Errorf("fleet: uniform topology depth %d out of range [1, %d]", depth, MaxTopologyDepth)
+	}
+	t := &Topology{Spec: fmt.Sprintf("uniform:%dd%d", boards, depth)}
+	buildBalancedNode(t, RootID, "", -1, boards, depth)
+	finishTopology(t)
+	return t, nil
+}
+
+// buildBalancedNode appends a subtree dividing n boards over the remaining
+// levels and returns its node index.
+func buildBalancedNode(t *Topology, id, path string, parent, n, levels int) int {
+	idx := len(t.Nodes)
+	t.Nodes = append(t.Nodes, TopoNode{ID: id, Path: path, Parent: parent, First: t.Boards})
+	if levels == 1 || n == 1 {
+		t.Nodes[idx].Boards = n
+		t.Boards += n
+		return idx
+	}
+	k := int(math.Round(math.Pow(float64(n), 1/float64(levels))))
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	base, extra := n/k, n%k
+	for c := 0; c < k; c++ {
+		sub := base
+		if c < extra {
+			sub++
+		}
+		cid := strconv.Itoa(c)
+		cpath := cid
+		if path != "" {
+			cpath = path + "/" + cid
+		}
+		ci := buildBalancedNode(t, cid, cpath, idx, sub, levels-1)
+		t.Nodes[idx].Children = append(t.Nodes[idx].Children, ci)
+	}
+	return idx
+}

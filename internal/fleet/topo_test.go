@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTopologyRejections drives every rejection path of the parser
+// with a table of malformed specs.
+func TestParseTopologyRejections(t *testing.T) {
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"empty", "", "empty topology spec"},
+		{"whitespace", "   ", "empty topology spec"},
+		{"bad-factor", "4xfoo", "not an integer"},
+		{"zero-factor", "4x0", "must be positive"},
+		{"negative-factor", "-4", "must be positive"},
+		{"too-deep-shorthand", "2x2x2x2x2x2x2x2x2", "depth 9 exceeds max 8"},
+		{"board-overflow-shorthand", "2048x2048", "total boards exceed max"},
+		{"board-overflow-huge-factor", "9999999999", "total boards exceed max"},
+		{"missing-equals", "root=a;a", "want id=value"},
+		{"empty-id", "=4", "empty topology node ID"},
+		{"digit-id", "root=a;a=4;7=2", "must start with a letter"},
+		{"bad-id-char", "ro/ot=4", "invalid character"},
+		{"bad-child-char", "root=a!b", "invalid character"},
+		{"duplicate-def", "root=a,b;a=4;b=2;a=8", "defined twice"},
+		{"zero-fanout-internal", "root=a,b;a=;b=4", "zero fan-out"},
+		{"zero-board-leaf", "root=a;a=0", "board count 0 must be positive"},
+		{"negative-board-leaf", "root=a;a=-3", "must be positive"},
+		{"undefined-child", "root=a,b;a=4", "undefined node \"b\""},
+		{"self-cycle", "root=root", "part of a cycle"},
+		{"deep-cycle", "root=a;a=b;b=root", "part of a cycle"},
+		{"multi-parent", "root=a,b;a=c;b=c;c=4", "referenced by two parents"},
+		{"unreachable", "root=a;a=4;b=8", "unreachable from the root"},
+		{"too-deep-explicit", "n0=n1;n1=n2;n2=n3;n3=n4;n4=n5;n5=n6;n6=n7;n7=n8;n8=4", "depth exceeds max"},
+		{"board-overflow-explicit", "root=a,b;a=1000000;b=1000000", "total boards exceed max"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := ParseTopology(tc.spec)
+			if err == nil {
+				t.Fatalf("spec %q accepted: %+v", tc.spec, topo)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("spec %q: error %q does not mention %q", tc.spec, err, tc.want)
+			}
+		})
+	}
+}
+
+// checkTopologyInvariants asserts the structural contract every accepted
+// topology must satisfy; shared by the unit tests and the fuzzer.
+func checkTopologyInvariants(t *testing.T, topo *Topology) {
+	t.Helper()
+	if len(topo.Nodes) == 0 {
+		t.Fatal("no nodes")
+	}
+	root := &topo.Nodes[0]
+	if root.Parent != -1 || root.Path != "" {
+		t.Fatalf("root parent=%d path=%q, want -1 and \"\"", root.Parent, root.Path)
+	}
+	if topo.Depth != root.Height {
+		t.Fatalf("depth %d != root height %d", topo.Depth, root.Height)
+	}
+	if topo.Depth < 1 || topo.Depth > MaxTopologyDepth {
+		t.Fatalf("depth %d out of range", topo.Depth)
+	}
+	if topo.Boards < 1 || topo.Boards > MaxTopologyBoards {
+		t.Fatalf("boards %d out of range", topo.Boards)
+	}
+	if root.Boards != topo.Boards || root.First != 0 {
+		t.Fatalf("root range [%d,+%d), want [0,+%d)", root.First, root.Boards, topo.Boards)
+	}
+	paths := make(map[string]bool, len(topo.Nodes))
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		if paths[n.Path] {
+			t.Fatalf("duplicate node path %q", n.Path)
+		}
+		paths[n.Path] = true
+		if n.Boards < 1 {
+			t.Fatalf("node %q has %d boards", n.Path, n.Boards)
+		}
+		if i > 0 && (n.Parent < 0 || n.Parent >= i) {
+			t.Fatalf("node %q parent %d not before it (preorder)", n.Path, n.Parent)
+		}
+		if len(n.Children) == 0 {
+			if n.Height != 1 {
+				t.Fatalf("leaf %q height %d", n.Path, n.Height)
+			}
+			continue
+		}
+		sum, first, h := 0, n.First, 0
+		for _, ci := range n.Children {
+			c := &topo.Nodes[ci]
+			if ci <= i {
+				t.Fatalf("node %q child %d not after it (preorder)", n.Path, ci)
+			}
+			if c.Parent != i {
+				t.Fatalf("node %q child %q has parent %d", n.Path, c.Path, c.Parent)
+			}
+			if c.First != first {
+				t.Fatalf("node %q child %q starts at %d, want contiguous %d", n.Path, c.Path, c.First, first)
+			}
+			first += c.Boards
+			sum += c.Boards
+			if c.Height > h {
+				h = c.Height
+			}
+		}
+		if sum != n.Boards {
+			t.Fatalf("node %q children cover %d of %d boards", n.Path, sum, n.Boards)
+		}
+		if n.Height != h+1 {
+			t.Fatalf("node %q height %d, children max %d", n.Path, n.Height, h)
+		}
+	}
+}
+
+// TestParseTopologyShapes pins the accepted grammars' shapes.
+func TestParseTopologyShapes(t *testing.T) {
+	flat, err := ParseTopology("64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTopologyInvariants(t, flat)
+	if len(flat.Nodes) != 1 || flat.Depth != 1 || flat.Boards != 64 {
+		t.Fatalf("flat: %d nodes depth %d boards %d", len(flat.Nodes), flat.Depth, flat.Boards)
+	}
+
+	grid, err := ParseTopology("32x32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTopologyInvariants(t, grid)
+	if len(grid.Nodes) != 33 || grid.Depth != 2 || grid.Boards != 1024 {
+		t.Fatalf("grid: %d nodes depth %d boards %d", len(grid.Nodes), grid.Depth, grid.Boards)
+	}
+	if grid.Nodes[0].ID != RootID || grid.Nodes[1].Path != "0" || grid.Nodes[32].Path != "31" {
+		t.Fatalf("grid naming: root %q, first child %q", grid.Nodes[0].ID, grid.Nodes[1].Path)
+	}
+
+	exp, err := ParseTopology("root=a,b;a=4;b=row-1,row-2;row-1=2;row-2=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTopologyInvariants(t, exp)
+	if exp.Depth != 3 || exp.Boards != 8 || len(exp.Nodes) != 5 {
+		t.Fatalf("explicit: depth %d boards %d nodes %d", exp.Depth, exp.Boards, len(exp.Nodes))
+	}
+	if exp.Nodes[3].Path != "b/row-1" {
+		t.Fatalf("explicit path: %q", exp.Nodes[3].Path)
+	}
+}
+
+// TestUniformMatchesShorthand pins that Uniform on a perfect power produces
+// the same shape (and the same node paths) as the parsed shorthand grid, so
+// -fleet-topo specs and programmatic scaling curves agree.
+func TestUniformMatchesShorthand(t *testing.T) {
+	u, err := Uniform(1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTopologyInvariants(t, u)
+	g, err := ParseTopology("32x32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Nodes) != len(g.Nodes) {
+		t.Fatalf("uniform has %d nodes, shorthand %d", len(u.Nodes), len(g.Nodes))
+	}
+	for i := range u.Nodes {
+		un, gn := &u.Nodes[i], &g.Nodes[i]
+		if un.Path != gn.Path || un.First != gn.First || un.Boards != gn.Boards || un.Height != gn.Height {
+			t.Fatalf("node %d: uniform %+v != shorthand %+v", i, un, gn)
+		}
+	}
+
+	big, err := Uniform(10000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTopologyInvariants(t, big)
+	if len(big.Nodes) != 101 || big.Nodes[1].Boards != 100 {
+		t.Fatalf("uniform 10000d2: %d nodes, first leaf %d boards", len(big.Nodes), big.Nodes[1].Boards)
+	}
+
+	for _, tc := range []struct{ n, d int }{{1, 1}, {1, 3}, {7, 3}, {1000, 3}, {10000, 4}} {
+		topo, err := Uniform(tc.n, tc.d)
+		if err != nil {
+			t.Fatalf("Uniform(%d,%d): %v", tc.n, tc.d, err)
+		}
+		checkTopologyInvariants(t, topo)
+		if topo.Boards != tc.n {
+			t.Fatalf("Uniform(%d,%d) covers %d boards", tc.n, tc.d, topo.Boards)
+		}
+	}
+
+	if _, err := Uniform(0, 2); err == nil {
+		t.Fatal("Uniform(0,2) accepted")
+	}
+	if _, err := Uniform(4, 0); err == nil {
+		t.Fatal("Uniform(4,0) accepted")
+	}
+	if _, err := Uniform(MaxTopologyBoards+1, 2); err == nil {
+		t.Fatal("oversized Uniform accepted")
+	}
+}
+
+// FuzzTopologySpec fuzzes the parser: any accepted spec must satisfy the
+// full structural contract, and no input may panic or hang the parser.
+func FuzzTopologySpec(f *testing.F) {
+	for _, seed := range []string{
+		"64", "32x32", "4x8x2", "root=a,b;a=4;b=8",
+		"root=a,b;a=c,d;c=2;d=2;b=8", "root=root", "a=b;b=a",
+		"root=a,a;a=1", "r=x;x=", "2048x2048", "1x1x1x1x1x1x1x1",
+		"dc=r1,r2;r1=16;r2=16",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		topo, err := ParseTopology(spec)
+		if err != nil {
+			return
+		}
+		checkTopologyInvariants(t, topo)
+	})
+}

@@ -1,0 +1,303 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomTopology generates a random (possibly ragged) explicit topology
+// spec with depth ≤ 4 and fan-out ≤ 32, the shape class the tree runner
+// must hold its invariants over.
+func randomTopology(rng *rand.Rand) *Topology {
+	next := 0
+	var entries []string
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		id := fmt.Sprintf("n%d", next)
+		next++
+		if depth >= 4 || rng.Intn(3) == 0 {
+			entries = append(entries, fmt.Sprintf("%s=%d", id, 1+rng.Intn(6)))
+			return id
+		}
+		fan := 1 + rng.Intn(32)
+		if fan > 6 {
+			fan = 1 + rng.Intn(6) // keep most trees small so many run per test
+		}
+		kids := make([]string, fan)
+		for i := range kids {
+			kids[i] = gen(depth + 1)
+		}
+		// Children are generated before the parent entry, so reorder at the
+		// end: the parser requires the root to come first.
+		entries = append(entries, id+"="+strings.Join(kids, ","))
+		return id
+	}
+	root := gen(1)
+	// Put the root entry first; everything else can stay in any order.
+	for i, e := range entries {
+		if strings.HasPrefix(e, root+"=") {
+			entries[0], entries[i] = entries[i], entries[0]
+			break
+		}
+	}
+	topo, err := ParseTopology(strings.Join(entries, ";"))
+	if err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+// TestTreeConservationEveryLevel is the property test for the composed
+// invariant: over random topologies (depth ≤ 4, fan-out ≤ 32), random
+// budgets/floors/ceilings and random telemetry with monotone board
+// completion, conservation (Σ child budgets ≤ parent budget, Σ board caps ≤
+// leaf budget), floors and ceilings hold at every node of the tree after
+// every reallocation. Trials run as parallel subtests so the race detector
+// crosses tree reallocation with concurrent trials.
+func TestTreeConservationEveryLevel(t *testing.T) {
+	for _, policy := range []string{"equal", "feedback"} {
+		t.Run(policy, func(t *testing.T) {
+			for trial := 0; trial < 24; trial++ {
+				trial := trial
+				t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+					t.Parallel()
+					rng := rand.New(rand.NewSource(int64(1000*trial) + 17))
+					topo := randomTopology(rng)
+					n := topo.Boards
+
+					b := Budget{MinW: 0.5 + rng.Float64(), MaxW: 0}
+					b.MaxW = b.MinW*(1.5+2*rng.Float64()) + rng.Float64()
+					b.TotalW = b.MinW*float64(n) + rng.Float64()*float64(n)*(b.MaxW-b.MinW)
+					reallocEvery := 1 + rng.Intn(4)
+					factor := 1 + rng.Intn(3)
+
+					tree, err := NewTree(topo, b, reallocEvery, factor, func() Policy {
+						p, err := NewPolicy(policy)
+						if err != nil {
+							panic(err)
+						}
+						return p
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					tel := make([]Telemetry, n)
+					caps := make([]float64, n)
+					var due []int
+					for step := 0; step < 40*reallocEvery; step++ {
+						for i := range tel {
+							done := tel[i].Done || (step > 10 && rng.Intn(30) == 0)
+							tel[i] = Telemetry{
+								PowerW:    rng.Float64() * b.MaxW * 1.5,
+								BIPS:      rng.Float64() * 8,
+								CapW:      caps[i],
+								Throttled: rng.Intn(3) == 0,
+								Done:      done,
+							}
+						}
+						due = tree.Due(step, due[:0])
+						if len(due) == 0 {
+							continue
+						}
+						tree.Realloc(due, tel, caps)
+						if err := tree.CheckConservation(tel, caps, 1e-9); err != nil {
+							t.Fatalf("step %d (topology %q): %v", step, topo.Spec, err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestTreeCadence pins the cadence rule: Period = ReallocEvery ×
+// factor^(Height−1), every leaf on the base cadence, and a due parent
+// implying every descendant due in the same instant.
+func TestTreeCadence(t *testing.T) {
+	topo, err := ParseTopology("2x3x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Budget{TotalW: 40, MinW: 1, MaxW: 5}
+	tree, err := NewTree(topo, b, 5, 2, func() Policy { return EqualShare{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tree.Nodes {
+		n := &tree.Nodes[i]
+		want := 5 // leaves (height 1)
+		switch n.Height {
+		case 2:
+			want = 10
+		case 3:
+			want = 20
+		}
+		if n.Period != want {
+			t.Fatalf("node %q height %d period %d, want %d", n.Path, n.Height, n.Period, want)
+		}
+	}
+	var due []int
+	for step := 0; step <= 60; step++ {
+		due = tree.Due(step, due[:0])
+		inDue := make(map[int]bool, len(due))
+		for _, i := range due {
+			inDue[i] = true
+			if !tree.NodeRealloc(i, step) {
+				t.Fatalf("step %d: node %d due but NodeRealloc false", step, i)
+			}
+		}
+		for _, i := range due {
+			for _, ci := range tree.Nodes[i].Children {
+				if !inDue[ci] {
+					t.Fatalf("step %d: parent %d due, child %d not", step, i, ci)
+				}
+			}
+		}
+		for k := 1; k < len(due); k++ {
+			if due[k] <= due[k-1] {
+				t.Fatalf("step %d: due list %v not preorder-sorted", step, due)
+			}
+		}
+	}
+}
+
+// TestOneLevelTreeMatchesFlatPolicy pins the degenerate case at the fleet
+// layer: a one-level tree's reallocation must be bit-identical to calling
+// the flat policy directly — the foundation of the byte-identity gate the
+// core layer builds on.
+func TestOneLevelTreeMatchesFlatPolicy(t *testing.T) {
+	for _, policy := range []string{"equal", "feedback"} {
+		topo, err := ParseTopology("9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Budget{TotalW: 20, MinW: 1, MaxW: 4.5}
+		tree, err := NewTree(topo, b, 10, 2, func() Policy {
+			p, _ := NewPolicy(policy)
+			return p
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := NewPolicy(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewSource(99))
+		tel := make([]Telemetry, 9)
+		treeCaps := make([]float64, 9)
+		flatCaps := make([]float64, 9)
+		var due []int
+		for step := 0; step < 200; step += 10 {
+			for i := range tel {
+				tel[i] = Telemetry{
+					PowerW:    rng.Float64() * 5,
+					BIPS:      rng.Float64() * 8,
+					CapW:      treeCaps[i],
+					Throttled: rng.Intn(3) == 0,
+					Done:      step > 100 && rng.Intn(4) == 0,
+				}
+			}
+			due = tree.Due(step, due[:0])
+			if len(due) != 1 || due[0] != 0 {
+				t.Fatalf("one-level tree due %v at step %d", due, step)
+			}
+			tree.Realloc(due, tel, treeCaps)
+			flat.Allocate(flatCaps, b, tel)
+			for i := range treeCaps {
+				if treeCaps[i] != flatCaps[i] {
+					t.Fatalf("%s step %d board %d: tree %.17g != flat %.17g",
+						policy, step, i, treeCaps[i], flatCaps[i])
+				}
+			}
+		}
+		path, local := tree.BoardCoord(4)
+		if path != "" || local != 4 {
+			t.Fatalf("one-level BoardCoord(4) = (%q, %d), want (\"\", 4)", path, local)
+		}
+	}
+}
+
+// TestBoardCoord pins the path/local-index mapping on a nested tree.
+func TestBoardCoord(t *testing.T) {
+	topo, err := ParseTopology("root=a,b;a=4;b=row-1,row-2;row-1=2;row-2=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewTree(topo, Budget{TotalW: 40, MinW: 1, MaxW: 5}, 10, 2,
+		func() Policy { return EqualShare{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		board int
+		path  string
+		local int
+	}{
+		{0, "a", 0}, {3, "a", 3}, {4, "b/row-1", 0}, {5, "b/row-1", 1},
+		{6, "b/row-2", 0}, {7, "b/row-2", 1},
+	}
+	for _, tc := range cases {
+		path, local := tree.BoardCoord(tc.board)
+		if path != tc.path || local != tc.local {
+			t.Fatalf("BoardCoord(%d) = (%q, %d), want (%q, %d)",
+				tc.board, path, local, tc.path, tc.local)
+		}
+	}
+}
+
+// TestNewTreeRejections drives the constructor's validation paths.
+func TestNewTreeRejections(t *testing.T) {
+	topo, err := ParseTopology("2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Budget{TotalW: 10, MinW: 1, MaxW: 4}
+	pol := func() Policy { return EqualShare{} }
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"nil-topology", func() error { _, e := NewTree(nil, ok, 10, 2, pol); return e }},
+		{"nil-factory", func() error { _, e := NewTree(topo, ok, 10, 2, nil); return e }},
+		{"bad-budget", func() error {
+			_, e := NewTree(topo, Budget{TotalW: -1, MinW: 1, MaxW: 4}, 10, 2, pol)
+			return e
+		}},
+		{"infeasible-floor", func() error {
+			_, e := NewTree(topo, Budget{TotalW: 3, MinW: 1, MaxW: 4}, 10, 2, pol)
+			return e
+		}},
+		{"zero-period", func() error { _, e := NewTree(topo, ok, 0, 2, pol); return e }},
+		{"negative-factor", func() error { _, e := NewTree(topo, ok, 10, -1, pol); return e }},
+		{"nil-policy", func() error {
+			_, e := NewTree(topo, ok, 10, 2, func() Policy { return nil })
+			return e
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err() == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+	// cadenceFactor 0 selects the default rather than erroring.
+	tree, err := NewTree(topo, ok, 10, 0, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Nodes[0].Period; got != 10*DefaultCadenceFactor {
+		t.Fatalf("default cadence root period %d, want %d", got, 10*DefaultCadenceFactor)
+	}
+	if tree.PolicyName() != (EqualShare{}).Name() {
+		t.Fatalf("policy name %q", tree.PolicyName())
+	}
+	if tree.Budget() != ok {
+		t.Fatalf("budget %+v", tree.Budget())
+	}
+}

@@ -35,6 +35,12 @@ type fieldSpec[T any] struct {
 	kind     fieldKind
 	enum     []string
 	optional bool
+	// emitIf, when set, decides per record whether the (optional) field is
+	// emitted, overriding the writer's includeOptional switch — used for
+	// fields that must appear exactly when they carry information (the
+	// fleet "node" path) so that records without them stay byte-identical
+	// to the schema's previous revision.
+	emitIf   func(r *T) bool
 	appendTo func(b []byte, r *T) []byte
 }
 
@@ -65,6 +71,15 @@ func boolF[T any](name string, get func(*T) bool) fieldSpec[T] {
 
 func strF[T any](name string, enum []string, get func(*T) string) fieldSpec[T] {
 	return fieldSpec[T]{name: name, kind: kindString, enum: enum,
+		appendTo: func(b []byte, r *T) []byte { return strconv.AppendQuote(b, get(r)) }}
+}
+
+// strFOpt builds an optional free-form string field that is emitted only
+// when non-empty, so records that never set it are byte-identical to the
+// schema without it.
+func strFOpt[T any](name string, get func(*T) string) fieldSpec[T] {
+	return fieldSpec[T]{name: name, kind: kindString, optional: true,
+		emitIf:   func(r *T) bool { return get(r) != "" },
 		appendTo: func(b []byte, r *T) []byte { return strconv.AppendQuote(b, get(r)) }}
 }
 
@@ -150,7 +165,11 @@ func appendJSONObject[T any](buf []byte, schema []fieldSpec[T], rec *T,
 	buf = append(buf, '{')
 	for fi := range schema {
 		f := &schema[fi]
-		if f.optional && !includeOptional {
+		if f.emitIf != nil {
+			if !f.emitIf(rec) {
+				continue
+			}
+		} else if f.optional && !includeOptional {
 			continue
 		}
 		if len(buf) > start+1 {

@@ -42,8 +42,18 @@ type FleetRecord struct {
 
 	// Realloc reports that the budget policy ran at the start of this
 	// interval (reallocation points recur every FleetOptions.ReallocEvery
-	// intervals).
+	// intervals). On per-node records it reports that this node's own
+	// coordinator fired — higher tree levels fire on slower cadences.
 	Realloc bool
+
+	// Node is the coordinator tree path this record aggregates ("" for the
+	// root / flat fleet view; e.g. "3/7" for rack 7 of row 3). Hierarchical
+	// runs emit one record per tree node per interval, the root first; flat
+	// runs leave Node empty and their traces are byte-identical to the
+	// pre-tree schema — the "node" field is only emitted when non-empty.
+	// For a non-root node, BudgetW is the node's currently allocated budget
+	// and every aggregate spans only the node's board range.
+	Node string
 }
 
 // fleetSchema is the fleet-record line schema, in emission order, sharing
@@ -51,6 +61,7 @@ type FleetRecord struct {
 var fleetSchema = []fieldSpec[FleetRecord]{
 	intF("step", func(r *FleetRecord) int { return r.Step }),
 	floatF("t_s", func(r *FleetRecord) float64 { return r.TimeS }),
+	strFOpt("node", func(r *FleetRecord) string { return r.Node }),
 	floatF("budget_w", func(r *FleetRecord) float64 { return r.BudgetW }),
 	floatF("alloc_w", func(r *FleetRecord) float64 { return r.AllocW }),
 	floatF("cap_min_w", func(r *FleetRecord) float64 { return r.CapMinW }),
